@@ -1,0 +1,50 @@
+"""A6 — crypto micro-benchmarks: the constant factors behind Figure 2.
+
+Per-operation sign/verify cost for 1024-bit RSA and HMAC-SHA1 over the
+same canonical rule text.  The RSA/HMAC per-message gap here should
+account for (most of) the scheme gap measured in E1.
+"""
+
+import pytest
+
+from repro.crypto import rsa
+from repro.crypto.hmac_sha1 import hmac_sha1, verify_hmac_sha1
+
+MESSAGE = b'access("carol","report.txt","read").'
+KEY_1024 = rsa.generate_keypair(1024, seed=3)
+SECRET = b"s" * 32
+
+
+@pytest.mark.benchmark(group="crypto-sign")
+def test_rsa_1024_sign(benchmark):
+    benchmark(rsa.sign, MESSAGE, KEY_1024)
+
+
+@pytest.mark.benchmark(group="crypto-sign")
+def test_hmac_sha1_sign(benchmark):
+    benchmark(hmac_sha1, SECRET, MESSAGE)
+
+
+@pytest.mark.benchmark(group="crypto-verify")
+def test_rsa_1024_verify(benchmark):
+    signature = rsa.sign(MESSAGE, KEY_1024)
+    public = KEY_1024.public()
+    result = benchmark(rsa.verify, MESSAGE, signature, public)
+    assert result
+
+
+@pytest.mark.benchmark(group="crypto-verify")
+def test_hmac_sha1_verify(benchmark):
+    tag = hmac_sha1(SECRET, MESSAGE)
+    result = benchmark(verify_hmac_sha1, SECRET, MESSAGE, tag)
+    assert result
+
+
+@pytest.mark.benchmark(group="crypto-keygen")
+def test_rsa_1024_keygen(benchmark):
+    counter = iter(range(10_000))
+
+    def generate():
+        return rsa.generate_keypair(1024, seed=next(counter))
+
+    benchmark.pedantic(generate, rounds=3, iterations=1)

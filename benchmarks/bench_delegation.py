@@ -1,0 +1,59 @@
+"""A4 — ablation: delegation machinery cost vs chain depth.
+
+Measures setting up a delegation chain of length N with depth budgets:
+every hop triggers del1 code generation, dd2b budget inference, and a
+says-propagated budget message — the full meta-programming path.
+"""
+
+import pytest
+
+from repro import LBTrustSystem
+
+CHAIN = 6
+
+
+def build_chain(length):
+    system = LBTrustSystem(auth="plaintext", seed=9, delegation=True)
+    principals = [system.create_principal(f"p{i}") for i in range(length + 1)]
+    for principal in principals:
+        principal.load("perm(A) -> string(A).")
+    return system, principals
+
+
+def run_chain(system, principals):
+    for i in range(len(principals) - 1):
+        principals[i].delegate(principals[i + 1].name, "perm",
+                               depth=len(principals) - 2 - i)
+        system.run()
+    # the last link's budget must be 0
+    last = principals[-1]
+    assert any(row[3] == 0 for row in last.tuples("inferredDelDepth"))
+
+
+@pytest.mark.benchmark(group="delegation-chain")
+def test_delegation_chain(benchmark):
+    def setup():
+        return (build_chain(CHAIN),), {}
+
+    def target(args):
+        system, principals = args
+        run_chain(system, principals)
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="delegation-chain")
+def test_delegated_fact_flow(benchmark):
+    """After a chain exists: cost of one delegated verdict flowing up."""
+    def setup():
+        system, principals = build_chain(2)
+        principals[0].delegate(principals[1].name, "perm")
+        system.run()
+        return (system, principals), {}
+
+    def target(system, principals):
+        principals[1].says(principals[0].name, 'perm("subject").')
+        system.run()
+        assert ("subject",) in principals[0].tuples("perm")
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)

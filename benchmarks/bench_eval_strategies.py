@@ -1,0 +1,70 @@
+"""A1 — ablation: naive vs semi-naive evaluation (section 3.1).
+
+LogicBlox "utilizes a bottom-up semi-naive fixpoint execution model"; this
+bench quantifies why, on transitive closure over chain and grid graphs.
+Semi-naive avoids re-deriving old facts each round, turning the quadratic
+re-derivation blowup into work linear in the output.
+"""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate
+from repro.datalog.naive import evaluate_naive
+from repro.datalog.parser import parse_statements
+from repro.datalog.runtime import EvalContext
+from repro.datalog.terms import Rule
+
+TC = "r(X,Y) <- e(X,Y). r(X,Z) <- r(X,Y), e(Y,Z)."
+RULES = [s for s in parse_statements(TC) if isinstance(s, Rule)]
+
+CHAIN = 60
+GRID = 8
+
+
+def chain_db() -> Database:
+    db = Database()
+    for i in range(CHAIN):
+        db.add("e", (i, i + 1))
+    return db
+
+
+def grid_db() -> Database:
+    db = Database()
+    for x in range(GRID):
+        for y in range(GRID):
+            if x + 1 < GRID:
+                db.add("e", ((x, y), (x + 1, y)))
+            if y + 1 < GRID:
+                db.add("e", ((x, y), (x, y + 1)))
+    return db
+
+
+def _run(benchmark, evaluator, make_db):
+    def setup():
+        return (make_db(),), {}
+
+    def target(db):
+        evaluator(RULES, db, EvalContext())
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="eval-chain")
+def test_seminaive_chain(benchmark):
+    _run(benchmark, evaluate, chain_db)
+
+
+@pytest.mark.benchmark(group="eval-chain")
+def test_naive_chain(benchmark):
+    _run(benchmark, evaluate_naive, chain_db)
+
+
+@pytest.mark.benchmark(group="eval-grid")
+def test_seminaive_grid(benchmark):
+    _run(benchmark, evaluate, grid_db)
+
+
+@pytest.mark.benchmark(group="eval-grid")
+def test_naive_grid(benchmark):
+    _run(benchmark, evaluate_naive, grid_db)

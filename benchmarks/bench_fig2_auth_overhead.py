@@ -1,0 +1,44 @@
+"""E1 — the paper's Figure 2: execution time vs authentication scheme.
+
+Paper setup: two principals export and import authenticated facts from
+each other's context; each message costs one signature generation and one
+verification.  The paper reports (at 10k messages, on 2009 hardware)
+roughly 300s for RSA, with HMAC a slight increase over Plaintext.
+
+These pytest-benchmark points fix k = LBTRUST_BENCH_MESSAGES (default
+100) per direction and compare schemes; ``fig2_sweep.py`` regenerates the
+full series over k.  The *shape* claims under test:
+
+* RSA ≫ HMAC > Plaintext per message,
+* HMAC is only a slight increase over Plaintext,
+* time grows linearly in the number of messages.
+"""
+
+import pytest
+
+from .workloads import BENCH_MESSAGES, make_fig2_system, run_fig2_exchange
+
+
+def _bench(benchmark, auth):
+    def setup():
+        return make_fig2_system(auth), {}
+
+    def target(system, alice, bob):
+        run_fig2_exchange(system, alice, bob, BENCH_MESSAGES)
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig2-auth-overhead")
+def test_fig2_plaintext(benchmark):
+    _bench(benchmark, "plaintext")
+
+
+@pytest.mark.benchmark(group="fig2-auth-overhead")
+def test_fig2_hmac(benchmark):
+    _bench(benchmark, "hmac")
+
+
+@pytest.mark.benchmark(group="fig2-auth-overhead")
+def test_fig2_rsa(benchmark):
+    _bench(benchmark, "rsa")

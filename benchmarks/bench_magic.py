@@ -1,0 +1,74 @@
+"""A2 — ablation: the section 7 optimizer conjecture.
+
+"Magic-sets can potentially bridge the top-down evaluation approach used
+in access control, versus the typical bottom-up continuous evaluation."
+
+Workload: a selective point query reach("n0", X) over a random graph with
+a large component irrelevant to the query.  Full bottom-up computes
+everything; magic-sets and tabled top-down only touch what the query
+needs.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate
+from repro.datalog.magic import query_magic
+from repro.datalog.parser import parse_atom, parse_statements
+from repro.datalog.runtime import EvalContext
+from repro.datalog.terms import Rule
+from repro.datalog.topdown import query_topdown
+
+TC = "r(X,Y) <- e(X,Y). r(X,Z) <- e(X,Y), r(Y,Z)."
+RULES = [s for s in parse_statements(TC) if isinstance(s, Rule)]
+QUERY = parse_atom('r("q0",X)')
+
+RELEVANT = 30      # nodes reachable from the query source
+IRRELEVANT = 400   # nodes in a component the query never touches
+
+
+def make_db() -> Database:
+    rng = random.Random(5)
+    db = Database()
+    for i in range(RELEVANT - 1):
+        db.add("e", (f"q{i}", f"q{i + 1}"))
+    irrelevant = [f"x{i}" for i in range(IRRELEVANT)]
+    for _ in range(IRRELEVANT * 3):
+        db.add("e", (rng.choice(irrelevant), rng.choice(irrelevant)))
+    return db
+
+
+@pytest.mark.benchmark(group="magic-point-query")
+def test_full_bottomup(benchmark):
+    def setup():
+        return (make_db(),), {}
+
+    def target(db):
+        evaluate(RULES, db, EvalContext())
+        return {t for t in db.tuples("r") if t[0] == "q0"}
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="magic-point-query")
+def test_magic_sets(benchmark):
+    def setup():
+        return (make_db(),), {}
+
+    def target(db):
+        return query_magic(RULES, db, QUERY)
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="magic-point-query")
+def test_tabled_topdown(benchmark):
+    def setup():
+        return (make_db(),), {}
+
+    def target(db):
+        return query_topdown(RULES, db, QUERY)
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)

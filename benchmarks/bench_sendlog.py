@@ -1,0 +1,64 @@
+"""A7 — SeNDlog convergence: messages and virtual time vs network size.
+
+The section 5.2 reachability protocol on rings of growing size; reports
+wall time through pytest-benchmark, and the messages/virtual-time scaling
+is printed by ``sendlog_scaling.py`` for EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import LBTrustSystem
+from repro.languages.sendlog import install_sendlog
+
+REACHABILITY = """
+At S:
+s1: reachable(S,D) :- neighbor(S,D).
+s1b: reachable(S,D)@S :- neighbor(S,D).
+s2: reachable(Z,D)@Z :- neighbor(S,Z), W says reachable(S,D).
+"""
+
+
+def build_ring(size, auth="hmac"):
+    system = LBTrustSystem(auth=auth, seed=11)
+    names = [f"n{i}" for i in range(size)]
+    principals = {n: system.create_principal(n) for n in names}
+    install_sendlog(system, REACHABILITY)
+    for i in range(size):
+        a, b = names[i], names[(i + 1) % size]
+        principals[a].assert_fact("neighbor", (a, b))
+        principals[b].assert_fact("neighbor", (b, a))
+    return system, principals
+
+
+def converge(system, principals):
+    system.run(max_rounds=80)
+    size = len(principals)
+    for name, principal in principals.items():
+        reached = {d for (s, d) in principal.tuples("reachable") if s == name}
+        assert len(reached | {name}) == size
+
+
+def _bench(benchmark, size):
+    def setup():
+        return (build_ring(size),), {}
+
+    def target(args):
+        system, principals = args
+        converge(system, principals)
+
+    benchmark.pedantic(target, setup=setup, rounds=2, iterations=1)
+
+
+@pytest.mark.benchmark(group="sendlog-ring")
+def test_ring_4(benchmark):
+    _bench(benchmark, 4)
+
+
+@pytest.mark.benchmark(group="sendlog-ring")
+def test_ring_6(benchmark):
+    _bench(benchmark, 6)
+
+
+@pytest.mark.benchmark(group="sendlog-ring")
+def test_ring_8(benchmark):
+    _bench(benchmark, 8)

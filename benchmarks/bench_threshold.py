@@ -1,0 +1,62 @@
+"""A5 — ablation: threshold (k-of-n) aggregation scaling (section 4.2.2).
+
+Cost of the wd2 count as the bureau group grows: n bureaus each vouch for
+m subjects; the bank's aggregate recomputes per batch.
+"""
+
+import pytest
+
+from repro.core.delegation import install_threshold
+from repro.datalog.parser import parse_rule
+from repro.meta.registry import RuleRegistry
+from repro.workspace.workspace import Workspace
+
+SUBJECTS = 20
+K = 3
+
+
+def make_bank(bureaus):
+    registry = RuleRegistry()
+    workspace = Workspace("bank", registry=registry)
+    install_threshold(workspace, "creditOK", "creditBureau", K,
+                      result="approved")
+    with workspace.transaction():
+        for i in range(bureaus):
+            workspace.assert_fact("pringroup", (f"b{i}", "creditBureau"))
+    refs = [registry.intern(parse_rule(f'creditOK("c{j}").'))
+            for j in range(SUBJECTS)]
+    return workspace, refs, bureaus
+
+
+def vote_all(workspace, refs, bureaus):
+    with workspace.transaction():
+        for i in range(bureaus):
+            for ref in refs:
+                workspace.assert_fact("says", (f"b{i}", "bank", ref))
+    assert len(workspace.tuples("approved")) == SUBJECTS
+
+
+def _bench(benchmark, bureaus):
+    def setup():
+        return (make_bank(bureaus),), {}
+
+    def target(args):
+        workspace, refs, n = args
+        vote_all(workspace, refs, n)
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="threshold-scaling")
+def test_threshold_4_bureaus(benchmark):
+    _bench(benchmark, 4)
+
+
+@pytest.mark.benchmark(group="threshold-scaling")
+def test_threshold_8_bureaus(benchmark):
+    _bench(benchmark, 8)
+
+
+@pytest.mark.benchmark(group="threshold-scaling")
+def test_threshold_16_bureaus(benchmark):
+    _bench(benchmark, 16)

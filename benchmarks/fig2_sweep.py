@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Regenerate the full Figure 2 series: time vs #messages per scheme.
+
+Usage:
+    python benchmarks/fig2_sweep.py            # k = 0..2000 (quick)
+    python benchmarks/fig2_sweep.py --full     # k = 0..10000 (paper scale)
+
+Prints the same series the paper plots (execution time over number of
+messages for RSA / HMAC / Plaintext) plus a linearity check and the
+per-message cost ratios, and appends nothing anywhere — copy the table
+into EXPERIMENTS.md when refreshing results.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+sys.path.insert(0, ".")  # allow `python benchmarks/fig2_sweep.py`
+
+from benchmarks.workloads import make_fig2_system, run_fig2_exchange  # noqa: E402
+
+SCHEMES = ("plaintext", "hmac", "rsa")
+
+
+def measure(auth: str, k: int) -> float:
+    system, alice, bob = make_fig2_system(auth)
+    start = time.perf_counter()
+    run_fig2_exchange(system, alice, bob, k)
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    points = [0, 1000, 2000, 4000, 6000, 8000, 10000] if full else \
+             [0, 250, 500, 1000, 1500, 2000]
+    print(f"# Figure 2 reproduction: execution time (s) over number of "
+          f"messages per direction")
+    header = "k".rjust(7) + "".join(s.rjust(12) for s in SCHEMES)
+    print(header)
+    series: dict[str, list] = {s: [] for s in SCHEMES}
+    for k in points:
+        row = f"{k:7d}"
+        for scheme in SCHEMES:
+            elapsed = measure(scheme, k)
+            series[scheme].append((k, elapsed))
+            row += f"{elapsed:12.3f}"
+        print(row, flush=True)
+
+    print("\n# per-message cost (µs, from the largest point) and ratios")
+    largest = points[-1]
+    costs = {}
+    for scheme in SCHEMES:
+        k, elapsed = series[scheme][-1]
+        base_k, base_t = series[scheme][0]
+        costs[scheme] = (elapsed - base_t) / max(k - base_k, 1) * 1e6
+        print(f"  {scheme:10s} {costs[scheme]:10.1f} µs/message")
+    print(f"  RSA/HMAC ratio:      {costs['rsa'] / costs['hmac']:.1f}x")
+    print(f"  HMAC/Plaintext ratio: {costs['hmac'] / costs['plaintext']:.2f}x")
+
+    print("\n# linearity check (R^2 of least-squares fit per scheme)")
+    for scheme in SCHEMES:
+        ks = [k for k, _ in series[scheme]]
+        ts = [t for _, t in series[scheme]]
+        n = len(ks)
+        mean_k, mean_t = sum(ks) / n, sum(ts) / n
+        cov = sum((k - mean_k) * (t - mean_t) for k, t in zip(ks, ts))
+        var_k = sum((k - mean_k) ** 2 for k in ks)
+        slope = cov / var_k if var_k else 0.0
+        intercept = mean_t - slope * mean_k
+        ss_res = sum((t - (slope * k + intercept)) ** 2
+                     for k, t in zip(ks, ts))
+        ss_tot = sum((t - mean_t) ** 2 for t in ts)
+        r2 = 1 - ss_res / ss_tot if ss_tot else 1.0
+        print(f"  {scheme:10s} R^2 = {r2:.4f}  "
+              f"(slope {slope * 1e3:.3f} ms/message)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""A7 standalone harness: SeNDlog convergence vs network size.
+
+Prints, per ring size: rounds to converge, messages, bytes, and virtual
+time under the simulated latency model.  Feeds the A7 row of
+EXPERIMENTS.md.
+
+Usage:  python benchmarks/sendlog_scaling.py [max_size]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+sys.path.insert(0, ".")
+
+from benchmarks.bench_sendlog import build_ring  # noqa: E402
+
+
+def main() -> None:
+    max_size = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    print("# SeNDlog reachability on rings (hmac-authenticated)")
+    print(f"{'nodes':>6} {'rounds':>7} {'messages':>9} {'bytes':>9} "
+          f"{'vtime':>7} {'wall(s)':>8}")
+    for size in range(3, max_size + 1):
+        system, principals = build_ring(size)
+        start = time.perf_counter()
+        report = system.run(max_rounds=100)
+        wall = time.perf_counter() - start
+        for name, principal in principals.items():
+            reached = {d for (s, d) in principal.tuples("reachable")
+                       if s == name}
+            assert len(reached | {name}) == size, (name, reached)
+        print(f"{size:6d} {report.rounds:7d} "
+              f"{system.network.total.messages:9d} "
+              f"{system.network.total.bytes:9d} "
+              f"{report.virtual_time:7.1f} {wall:8.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the interactive LBTrust shell."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

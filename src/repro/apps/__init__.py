@@ -1,0 +1,5 @@
+"""Runnable applications built on the public API."""
+
+from .filesystem import AccessDenied, DistributedFileSystem
+
+__all__ = ["AccessDenied", "DistributedFileSystem"]

@@ -1,0 +1,6 @@
+"""LBTrust core: principals, says, schemes, delegation, the system runtime."""
+
+from .principal import Principal
+from .system import LBTrustSystem, RunReport
+
+__all__ = ["LBTrustSystem", "Principal", "RunReport"]

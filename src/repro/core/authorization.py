@@ -1,0 +1,59 @@
+"""Authorization meta-constraints (paper sections 3.3 and 4.1).
+
+Two flavours, both straight from the paper:
+
+* **says-based** — restrict what *communicated* rules may do::
+
+      says(U,me,[| A <- P(T2*), A*. |]) -> mayRead(U,P).
+      says(U,me,[| P(T2*) <- A*. |])    -> mayWrite(U,P).
+
+  A received rule that reads predicate P activates only if its sender has
+  been granted read access on P (and symmetrically for deriving into P).
+  We add a ``U = me`` escape: a principal trusts itself.
+
+* **owner-based** (the section 3.3 worked example) — restrict what *local*
+  rules may do, given an ``owner(R,Principal)`` relation::
+
+      owner(U, [| A <- P(T2*), A*. |]) -> access(U,P,"read").
+
+Violations abort the enclosing transaction, so an unauthorized import is
+rejected wholesale and audited — the operational reading of "the
+evaluation of the Datalog program fails" for a long-running system.
+"""
+
+from __future__ import annotations
+
+from ..workspace.workspace import Workspace
+
+MAY_READ_CONSTRAINT = """
+authzread: says(U,me,[| A <- P(T2*), A*. |]) -> U = me ; mayRead(U,P).
+"""
+
+MAY_WRITE_CONSTRAINT = """
+authzwrite: says(U,me,[| P(T2*) <- A*. |]) -> U = me ; mayWrite(U,P).
+"""
+
+#: The worked example from section 3.3, verbatim modulo the string mode.
+OWNER_ACCESS_CONSTRAINT = """
+owneraccess: owner(U, [| A <- P(T2*), A*. |]) -> access(U,P,"read").
+"""
+
+
+def install_says_authorization(workspace: Workspace,
+                               reads: bool = True,
+                               writes: bool = True) -> None:
+    """Gate communicated rules on mayRead/mayWrite grants."""
+    if reads:
+        workspace.add_constraint(MAY_READ_CONSTRAINT)
+    if writes:
+        workspace.add_constraint(MAY_WRITE_CONSTRAINT)
+
+
+def install_owner_access(workspace: Workspace) -> None:
+    """Install the section 3.3 owner/access meta-constraint."""
+    workspace.add_constraint(OWNER_ACCESS_CONSTRAINT)
+
+
+def record_owner(workspace: Workspace, ref, principal: str) -> None:
+    """Assert that ``principal`` added rule ``ref`` (feeds owner/access)."""
+    workspace.assert_fact("owner", (principal, ref))

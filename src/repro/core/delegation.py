@@ -1,0 +1,152 @@
+"""Delegation constructs (paper section 4.2): speaks-for, restricted
+delegation, depth and width limits, and threshold structures.
+
+Everything here is source text for the declarative machinery — the Python
+functions only load it (optionally parameterized) into a workspace.
+
+* **speaks-for** (sf0): all authority to one principal;
+* **delegates/del1**: per-predicate speaks-for, *generated* by a meta-rule
+  whenever a ``delegates`` fact appears (the paper's del1, with the
+  predicate as a proper meta-variable — the printed listing's lowercase
+  ``p`` is a typo, see DESIGN.md);
+* **depth** (dd0-dd4): delegation chains bounded by an inferred,
+  says-propagated depth limit;
+* **width**: only principals in an explicitly allowed set may appear in a
+  chain — the paper leaves this as "similar meta-rules", so the
+  construction here is ours: the allowed set travels with the delegation;
+* **thresholds** (wd0-wd2): k-of-n agreement via ``count``, and the
+  weighted variant via ``total``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..workspace.workspace import Workspace
+
+#: sf0 — parametrized speaks-for (the paper hardcodes ``bob``).
+SPEAKS_FOR_TEMPLATE = 'sf0: active(R) <- says("{who}",me,R).'
+
+#: del0/del1 — restricted delegation with automatic rule generation.
+DELEGATION_RULES = """
+del0: delegates(U1,U2,P) -> prin(U1), prin(U2), predicate(P).
+del1: active([| active(R) <- says(U2,me,R), R = [| P(T*) <- A*. |]. |]) <-
+      delegates(me,U2,P).
+"""
+
+#: dd0-dd4 — delegation depth restriction.
+#:
+#: ``delDepth(me,U,P,N)`` grants U a budget of N *further* delegations
+#: below it (0 = U may not re-delegate).  The paper's printed dd3 sends
+#: ``N-1`` guarded by ``N>0``, which (a) never informs a depth-0 delegatee
+#: and (b) cannot chain, because received facts carry the *sender* as
+#: first argument while dd3's body requires ``inferredDelDepth(me,…)``.
+#: We realize the semantics the paper's prose describes ("if U2 delegates
+#: to some other principal U3, then a new limit of N-1 is inferred between
+#: U2 and U3"): dd2b performs that inference locally from any received
+#: budget, and dd3 ships every inferred budget — including 0, which is
+#: what arms the dd4 constraint at the delegatee.
+DEPTH_RULES = """
+dd0: delDepth(U1,U2,P,N) -> prin(U1), prin(U2), predicate(P), int(N).
+dd1: inferredDelDepth(U1,U2,P,N) -> prin(U1), prin(U2), predicate(P), int(N).
+dd2: inferredDelDepth(me,U,P,N) <- delDepth(me,U,P,N).
+dd2b: inferredDelDepth(me,U,P,N-1) <- inferredDelDepth(_,me,P,N),
+      delegates(me,U,P), N > 0.
+dd3: says(me,U,[| inferredDelDepth(me,U,P,N). |]) <-
+     inferredDelDepth(me,U,P,N), delegates(me,U,P).
+dd4: inferredDelDepth(_,me,P,0) -> !delegates(me,_,P).
+"""
+
+#: Width restriction (our construction, see module docstring):
+#: ``delWidth(me,W,P)`` lists the principals W allowed in chains for P
+#: rooted at me; ``delWidthOn(me,P)`` switches enforcement on.  Both the
+#: restriction flag and the allowed set propagate along the chain via says.
+WIDTH_RULES = """
+dw0: delWidth(U1,U2,P) -> prin(U1), prin(U2), predicate(P).
+dwc: delegates(me,U,P) -> !delWidthOn(me,P) ; delWidth(me,U,P).
+dws: says(me,U,[| delWidth(U,W,P). |]) <-
+     delegates(me,U,P), delWidthOn(me,P), delWidth(me,W,P).
+dwf: says(me,U,[| delWidthOn(U,P). |]) <-
+     delegates(me,U,P), delWidthOn(me,P).
+"""
+
+#: wd0-wd2 — unweighted threshold (paper listing, k and arity
+#: parametrized; the paper's creditOK example has one argument).
+#:
+#: Two channels: ``says`` (the paper's exact wd2) and ``heard`` (the
+#: runtime receipt log).  In a full system where scheme rules also
+#: *derive* says facts, aggregating over ``says`` is unstratifiable at
+#: the predicate level — counting ``heard`` (pure EDB) expresses the same
+#: thing without the false cycle.
+THRESHOLD_BODY = {
+    "says": 'says(U,me,[| {pred}({args}). |])',
+    "heard": 'heard(U,R), R = [| {pred}({args}). |]',
+}
+
+THRESHOLD_TEMPLATE = """
+wd1: {result}({args}) <- {count}({args},N), N >= {k}.
+wd2: {count}({args},N) <- agg<<N = count(U)>> pringroup(U,"{group}"),
+     {channel_body}.
+"""
+
+#: Weighted threshold via total (paper: "modified to use the total
+#: aggregation"); ``weight(U,W)`` assigns reliability factors.
+WEIGHTED_THRESHOLD_TEMPLATE = """
+wt1: {result}({args}) <- {total}({args},W), W >= {k}.
+wt2: {total}({args},W) <- agg<<W = total(Wt)>> pringroup(U,"{group}"),
+     weight(U,Wt), {channel_body}.
+"""
+
+
+def install_speaks_for(workspace: Workspace, who: str) -> None:
+    """``who`` speaks for this workspace's principal (activates all rules
+    said by them)."""
+    workspace.load(SPEAKS_FOR_TEMPLATE.format(who=who))
+
+
+def install_delegation(workspace: Workspace) -> None:
+    """Install del0/del1: ``delegates`` facts auto-generate speaks-for
+    rules restricted to the delegated predicate."""
+    workspace.load(DELEGATION_RULES)
+
+
+def install_depth_restriction(workspace: Workspace) -> None:
+    """Install dd0-dd4 (requires the says machinery for propagation)."""
+    workspace.load(DEPTH_RULES)
+
+
+def install_width_restriction(workspace: Workspace) -> None:
+    workspace.load(WIDTH_RULES)
+
+
+def _arg_list(arity: int) -> str:
+    return ",".join(f"C{i + 1}" for i in range(arity))
+
+
+def install_threshold(workspace: Workspace, pred: str, group: str, k: int,
+                      result: Optional[str] = None, arity: int = 1,
+                      channel: str = "says") -> str:
+    """Install a k-of-n threshold: ``result(args)`` holds once ``k``
+    members of ``group`` have said ``pred(args)``.  Returns the result
+    predicate.  ``channel`` is ``"says"`` (the paper's wd2) or
+    ``"heard"`` (see :data:`THRESHOLD_BODY`)."""
+    result = result or f"{pred}OK"
+    args = _arg_list(arity)
+    body = THRESHOLD_BODY[channel].format(pred=pred, args=args)
+    workspace.load(THRESHOLD_TEMPLATE.format(
+        pred=pred, group=group, k=k, result=result,
+        count=f"{pred}Count", args=args, channel_body=body))
+    return result
+
+
+def install_weighted_threshold(workspace: Workspace, pred: str, group: str,
+                               k: float, result: Optional[str] = None,
+                               arity: int = 1, channel: str = "says") -> str:
+    """Weighted variant: member weights must total at least ``k``."""
+    result = result or f"{pred}OK"
+    args = _arg_list(arity)
+    body = THRESHOLD_BODY[channel].format(pred=pred, args=args)
+    workspace.load(WEIGHTED_THRESHOLD_TEMPLATE.format(
+        pred=pred, group=group, k=k, result=result,
+        total=f"{pred}Weight", args=args, channel_body=body))
+    return result

@@ -1,0 +1,150 @@
+"""A principal: one trust-management context plus its keys and location.
+
+Paper section 2.2: *"A principal in Binder refers to a component in a
+distributed environment.  Each principal has its own local context where
+its rules reside."*  Here a principal owns:
+
+* a :class:`repro.workspace.workspace.Workspace` (the LogicBlox context),
+  preloaded with the says machinery and the system's authentication
+  scheme;
+* a :class:`repro.crypto.keystore.KeyStore` holding its private material;
+* a home *node* in the simulated network (several principals may share
+  one node — location transparency, paper section 3.5).
+
+The high-level verbs — :meth:`says`, :meth:`delegate`, :meth:`grant_read`
+— are thin sugar over asserting the corresponding facts; everything
+observable happens through the declarative machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from ..datalog.errors import WorkspaceError
+from ..datalog.parser import parse_statements
+from ..datalog.terms import Rule, RuleRef
+from ..meta.quote import compile_rule, resolve_me_rule
+from ..workspace.workspace import Workspace
+
+
+class Principal:
+    """One named participant with its own workspace and keys."""
+
+    def __init__(self, system, name: str, node: str) -> None:
+        from ..crypto.keystore import KeyStore  # local import: layering
+
+        self.system = system
+        self.name = name
+        self.node = node
+        self.workspace = Workspace(
+            name,
+            registry=system.registry,
+            builtins=system.make_builtins(),
+            enable_provenance=system.enable_provenance,
+        )
+        self.keystore = KeyStore()
+        # Crypto builtins reach the keystore through the workspace, which
+        # is the evaluation-context payload.
+        self.workspace.keystore = self.keystore
+        #: refs of scheme machinery rules, for teardown on reconfiguration
+        self.scheme_rule_refs: list[RuleRef] = []
+        self.scheme_constraint_labels: list[str] = []
+        self.auth_scheme: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Policy loading (delegates to the workspace)
+    # ------------------------------------------------------------------
+
+    def load(self, source: str) -> None:
+        """Load a program (facts, rules, constraints) into this context."""
+        self.workspace.load(source)
+
+    def add_rule(self, rule: Union[str, Rule]) -> RuleRef:
+        return self.workspace.add_rule(rule)
+
+    def add_constraint(self, constraint: str) -> None:
+        self.workspace.add_constraint(constraint)
+
+    def assert_fact(self, pred: str, fact: tuple) -> None:
+        self.workspace.assert_fact(pred, fact)
+
+    def assert_facts(self, pred: str, facts: Iterable[tuple]) -> None:
+        self.workspace.assert_facts(pred, facts)
+
+    def retract_fact(self, pred: str, fact: tuple) -> None:
+        self.workspace.retract_fact(pred, fact)
+
+    def tuples(self, pred: str) -> set:
+        return self.workspace.tuples(pred)
+
+    def query(self, source: str) -> list[dict]:
+        return self.workspace.query(source)
+
+    def holds(self, source: str) -> bool:
+        return self.workspace.holds(source)
+
+    # ------------------------------------------------------------------
+    # Trust verbs
+    # ------------------------------------------------------------------
+
+    def says(self, listener: Union["Principal", str],
+             statement: Union[str, Rule, RuleRef]) -> RuleRef:
+        """Say a rule (or fact) to another principal.
+
+        ``me`` inside the statement resolves to *this* principal (the
+        speaker).  The statement is interned and a ``says(me,listener,R)``
+        fact asserted; the configured scheme's exp1 rule signs and exports
+        it, and the System's next :meth:`run` delivers it.
+        """
+        listener_name = listener.name if isinstance(listener, Principal) else listener
+        ref = self.intern(statement)
+        self.workspace.assert_fact("says", (self.name, listener_name, ref))
+        return ref
+
+    def intern(self, statement: Union[str, Rule, RuleRef]) -> RuleRef:
+        """Intern a statement in the shared registry (resolving ``me``)."""
+        if isinstance(statement, RuleRef):
+            return statement
+        if isinstance(statement, str):
+            parsed = parse_statements(statement)
+            if len(parsed) != 1 or not isinstance(parsed[0], Rule):
+                raise WorkspaceError(
+                    "says expects exactly one rule or fact statement"
+                )
+            statement = parsed[0]
+        resolved = resolve_me_rule(statement, self.name)
+        return self.system.registry.intern(resolved)
+
+    def delegate(self, to: Union["Principal", str], pred: str,
+                 depth: Optional[int] = None) -> None:
+        """Delegate deriving ``pred`` to another principal (section 4.2).
+
+        Requires the delegation machinery
+        (:func:`repro.core.delegation.install_delegation`; enabled via
+        ``LBTrustSystem(delegation=True)``).  ``depth`` adds a
+        delegation-depth restriction (dd0-dd4): the delegatee may extend
+        the chain by at most ``depth`` further hops — ``depth=0`` means it
+        may not re-delegate at all.  The predicate must be declared in
+        this context (del0's type constraint).
+        """
+        to_name = to.name if isinstance(to, Principal) else to
+        self.workspace.assert_fact("delegates", (self.name, to_name, pred))
+        if depth is not None:
+            self.workspace.assert_fact("delDepth", (self.name, to_name, pred, depth))
+
+    def grant_read(self, who: Union["Principal", str], pred: str) -> None:
+        who_name = who.name if isinstance(who, Principal) else who
+        self.workspace.assert_fact("mayRead", (who_name, pred))
+
+    def grant_write(self, who: Union["Principal", str], pred: str) -> None:
+        who_name = who.name if isinstance(who, Principal) else who
+        self.workspace.assert_fact("mayWrite", (who_name, pred))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def audit(self) -> list:
+        return self.workspace.audit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Principal({self.name!r} @ {self.node!r}, auth={self.auth_scheme})"

@@ -1,0 +1,315 @@
+"""The multi-principal LBTrust runtime.
+
+Ties every substrate together: a shared rule registry, one workspace per
+principal, the simulated network, key provisioning, and the global
+fixpoint loop:
+
+1. each principal's workspace runs its local fixpoint (this happens
+   eagerly inside its transactions);
+2. the system collects facts of partitioned predicates whose ``predNode``
+   placement maps them to another principal's partition (paper section
+   3.5 — the ld1/ld2 placement rules are installed verbatim);
+3. messages are serialized, sent through the network (FIFO + latency),
+   and imported at the destination in a transaction — where the scheme's
+   verification constraint (exp3) and any authorization meta-constraints
+   either accept them (activating said rules, via says1) or reject the
+   import, which is rolled back and audited;
+4. repeat until no messages flow.
+
+Usage::
+
+    system = LBTrustSystem(auth="rsa")
+    alice, bob = system.create_principal("alice"), system.create_principal("bob")
+    bob.load('access(P,O,"read") <- good(P), object(O).')
+    alice.says(bob, 'good("carol").')
+    system.run()
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..crypto.datalog_builtins import register_crypto_builtins
+from ..datalog.builtins import BuiltinRegistry, standard_registry
+from ..datalog.errors import ConstraintViolation, NetworkError, WorkspaceError
+from ..datalog.parser import parse_statements
+from ..datalog.terms import Constraint, PredPartition, Rule
+from ..meta.registry import RuleRegistry
+from ..net.network import SimulatedNetwork
+from ..net.transport import decode_fact_message, encode_fact_message
+from .authorization import install_says_authorization
+from .delegation import install_delegation, install_depth_restriction
+from .principal import Principal
+from .says import install_says_machinery
+from .schemes import SchemeDef, scheme
+
+#: The paper's placement rules (section 5.2 listing ld1/ld2).
+PLACEMENT_RULES = """
+ld1: loc(P,N) -> prin(P), node(N).
+ld2: predNode(export[P],N) <- loc(P,N).
+"""
+
+
+@dataclass
+class RunReport:
+    """Outcome of one :meth:`LBTrustSystem.run` call."""
+
+    rounds: int = 0
+    delivered: int = 0
+    rejected: int = 0
+    bytes: int = 0
+    virtual_time: float = 0.0
+    rejected_detail: list = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (f"RunReport(rounds={self.rounds}, delivered={self.delivered}, "
+                f"rejected={self.rejected}, bytes={self.bytes}, "
+                f"virtual_time={self.virtual_time:.2f})")
+
+
+class LBTrustSystem:
+    """A set of principals, their network, and the global run loop."""
+
+    def __init__(self, auth: str = "rsa", rsa_bits: int = 1024,
+                 seed: Optional[int] = 7,
+                 network: Optional[SimulatedNetwork] = None,
+                 enable_provenance: bool = False,
+                 authorization: bool = False,
+                 delegation: bool = False) -> None:
+        self.registry = RuleRegistry()
+        self.network = network if network is not None else SimulatedNetwork()
+        self.principals: dict[str, Principal] = {}
+        self.rsa_bits = rsa_bits
+        self.rsa_keys: dict = {}
+        self.shared_secrets: dict[str, bytes] = {}
+        self.rng = random.Random(seed)
+        self.enable_provenance = enable_provenance
+        self.authorization = authorization
+        self.delegation = delegation
+        self.auth_name = auth
+        self._scheme: SchemeDef = scheme(auth)
+        self._sent: set = set()
+
+    # ------------------------------------------------------------------
+    # Principals
+    # ------------------------------------------------------------------
+
+    def make_builtins(self) -> BuiltinRegistry:
+        registry = standard_registry().child()
+        register_crypto_builtins(registry)
+        return registry
+
+    def create_principal(self, name: str, node: Optional[str] = None) -> Principal:
+        """Add a principal; provisions keys and installs all machinery."""
+        if name in self.principals:
+            raise WorkspaceError(f"principal {name!r} already exists")
+        node = node if node is not None else name
+        self.network.add_node(node)
+        principal = Principal(self, name, node)
+        self.principals[name] = principal
+
+        install_says_machinery(principal.workspace)
+        principal.workspace.load(PLACEMENT_RULES)
+        if self.delegation:
+            install_delegation(principal.workspace)
+            install_depth_restriction(principal.workspace)
+        if self.authorization:
+            install_says_authorization(principal.workspace)
+        self._install_scheme(principal)
+
+        # Location facts: everyone learns where everyone is (paper: "users
+        # can easily enforce various distribution plans by modifying the
+        # loc table").
+        for other in self.principals.values():
+            with other.workspace.transaction():
+                other.workspace.assert_fact("node", (node,))
+                other.workspace.assert_fact("prin", (name,))
+                other.workspace.assert_fact("loc", (name, node))
+            if other.name != name:
+                with principal.workspace.transaction():
+                    principal.workspace.assert_fact("node", (other.node,))
+                    principal.workspace.assert_fact("prin", (other.name,))
+                    principal.workspace.assert_fact("loc", (other.name, other.node))
+        return principal
+
+    def principal(self, name: str) -> Principal:
+        principal = self.principals.get(name)
+        if principal is None:
+            raise WorkspaceError(f"unknown principal {name!r}")
+        return principal
+
+    # ------------------------------------------------------------------
+    # Authentication scheme management (the "reconfigurable" part)
+    # ------------------------------------------------------------------
+
+    def _install_scheme(self, principal: Principal) -> None:
+        definition = self._scheme
+        for statement in parse_statements(definition.exp1_text):
+            if isinstance(statement, Rule):
+                ref = principal.workspace.add_rule(statement)
+                principal.scheme_rule_refs.append(ref)
+        if definition.exp3_text:
+            for statement in parse_statements(definition.exp3_text):
+                if isinstance(statement, Constraint):
+                    principal.workspace.add_constraint(statement)
+                    if statement.label:
+                        principal.scheme_constraint_labels.append(statement.label)
+        definition.provision(self, principal, self.rng)
+        principal.auth_scheme = definition.name
+
+    def reconfigure_auth(self, auth: str) -> None:
+        """Swap the authentication scheme system-wide.
+
+        Exactly the paper's section 4.1.2 move: the exp1 rules and exp3
+        constraints are replaced; every trust policy using ``says`` stays
+        untouched.
+
+        Transport state is regime-specific: previously imported exports
+        carry old-scheme signatures, which the new verification constraint
+        would (correctly) reject.  So reconfiguration flushes the received
+        ``export`` history; the *says* facts at each sender are durable
+        policy state, and the next :meth:`run` re-signs and re-delivers
+        everything under the new scheme — received knowledge reconverges.
+        """
+        self._scheme = scheme(auth)
+        self.auth_name = auth
+        for principal in self.principals.values():
+            workspace = principal.workspace
+            for label in principal.scheme_constraint_labels:
+                workspace.remove_constraints(label)
+            principal.scheme_constraint_labels = []
+            for ref in principal.scheme_rule_refs:
+                workspace.deactivate_rule(ref)
+            principal.scheme_rule_refs = []
+            old_exports = set(workspace.edb.get("export", set()))
+            if old_exports:
+                workspace.retract_facts("export", old_exports)
+        for principal in self.principals.values():
+            self._install_scheme(principal)
+        # Everything re-exports under the new regime.
+        self._sent.clear()
+
+    # ------------------------------------------------------------------
+    # The global fixpoint
+    # ------------------------------------------------------------------
+
+    def run(self, max_rounds: int = 100) -> RunReport:
+        """Exchange messages until the whole system quiesces."""
+        report = RunReport()
+        bytes_before = self.network.total.bytes
+        for _ in range(max_rounds):
+            sent_any = self._collect_and_send(report)
+            deliveries = self.network.deliver_all()
+            if not deliveries and not sent_any:
+                break
+            report.rounds += 1
+            self._import_deliveries(deliveries, report)
+        report.bytes = self.network.total.bytes - bytes_before
+        report.virtual_time = self.network.clock
+        return report
+
+    def _collect_and_send(self, report: RunReport) -> bool:
+        sent_any = False
+        for principal in self.principals.values():
+            workspace = principal.workspace
+            placement: dict[PredPartition, str] = {}
+            for row in workspace.tuples("predNode"):
+                if len(row) == 2 and isinstance(row[0], PredPartition):
+                    placement[row[0]] = row[1]
+            if not placement:
+                continue
+            for pred in list(workspace.db.relations):
+                info = workspace.catalog.get(pred)
+                if info is None or info.key_arity == 0:
+                    continue
+                for fact in workspace.db.tuples(pred):
+                    key = fact[:info.key_arity]
+                    node = placement.get(PredPartition(pred, key))
+                    if node is None:
+                        continue
+                    target = key[0]
+                    if not isinstance(target, str) or target == principal.name:
+                        continue
+                    if target not in self.principals:
+                        continue
+                    marker = (principal.name, pred, fact)
+                    if marker in self._sent:
+                        continue
+                    self._sent.add(marker)
+                    blob = encode_fact_message(pred, fact, self.registry,
+                                               to=target)
+                    self.network.send(principal.node, node, blob)
+                    sent_any = True
+        return sent_any
+
+    def _import_deliveries(self, deliveries: list, report: RunReport) -> None:
+        grouped: dict[str, list] = {}
+        for _src, _dst, blob in deliveries:
+            try:
+                to, pred, fact = decode_fact_message(blob, self.registry)
+            except NetworkError as exc:
+                report.rejected += 1
+                report.rejected_detail.append(("<decode>", str(exc)))
+                continue
+            grouped.setdefault(to, []).append((pred, fact))
+        for to, items in grouped.items():
+            principal = self.principals.get(to)
+            if principal is None:
+                report.rejected += len(items)
+                report.rejected_detail.append((to, "unknown principal"))
+                continue
+            self._import_batch(principal, items, report)
+
+    def _import_batch(self, principal: Principal, items: list,
+                      report: RunReport) -> None:
+        """Import a batch in one transaction; isolate failures per item."""
+        try:
+            with principal.workspace.transaction():
+                for pred, fact in items:
+                    self._import_one(principal, pred, fact)
+            report.delivered += len(items)
+            return
+        except ConstraintViolation:
+            pass  # fall through to per-item isolation
+        for pred, fact in items:
+            try:
+                with principal.workspace.transaction():
+                    self._import_one(principal, pred, fact)
+                report.delivered += 1
+            except ConstraintViolation as exc:
+                report.rejected += 1
+                report.rejected_detail.append((principal.name, str(exc)))
+                principal.workspace.audit.append(
+                    _import_rejected_event(principal.name, pred, fact, exc))
+
+    def _import_one(self, principal: Principal, pred: str, fact: tuple) -> None:
+        principal.workspace.assert_fact(pred, fact)
+        # Receipt metadata: heard(speaker, rule) — see repro.core.says.
+        if pred == "export" and len(fact) == 4:
+            _to, source, rule_ref, _sig = fact
+            principal.workspace.assert_fact("heard", (source, rule_ref))
+
+    # ------------------------------------------------------------------
+
+    def audit_trail(self) -> list:
+        events = []
+        for principal in self.principals.values():
+            events.extend(principal.workspace.audit)
+        return events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LBTrustSystem(auth={self.auth_name!r}, "
+                f"principals={sorted(self.principals)})")
+
+
+def _import_rejected_event(name: str, pred: str, fact: tuple, exc: Exception):
+    from ..workspace.workspace import AuditEvent
+
+    return AuditEvent("import_rejected", {
+        "workspace": name,
+        "pred": pred,
+        "fact": tuple(str(v) for v in fact),
+        "reason": str(exc),
+    })

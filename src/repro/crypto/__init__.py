@@ -1,0 +1,7 @@
+"""Cryptographic substrate: RSA, HMAC-SHA1, stream cipher, checksums."""
+
+from .keystore import KeyStore
+from .rsa import RSAPrivateKey, RSAPublicKey, generate_keypair, sign, verify
+
+__all__ = ["KeyStore", "RSAPrivateKey", "RSAPublicKey", "generate_keypair",
+           "sign", "verify"]

@@ -1,0 +1,81 @@
+"""Key material storage, referenced from Datalog by opaque key ids.
+
+Key *facts* (``rsaprivkey(me,K)``, ``rsapubkey(U,K)``,
+``sharedsecret(me,U2,K)``) live in the workspace like any other relation —
+that is what makes the paper's schemes ordinary Datalog.  The actual key
+*material* never enters the database: facts carry string ids, and the
+cryptographic builtins resolve ids through this store.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..datalog.errors import CryptoError
+from . import rsa
+
+
+class KeyStore:
+    """Per-principal key material, addressed by string key ids."""
+
+    def __init__(self) -> None:
+        self._rsa_private: dict[str, rsa.RSAPrivateKey] = {}
+        self._rsa_public: dict[str, rsa.RSAPublicKey] = {}
+        self._secrets: dict[str, bytes] = {}
+
+    # -- RSA -----------------------------------------------------------------
+
+    def install_rsa_private(self, key_id: str, key: rsa.RSAPrivateKey) -> None:
+        self._rsa_private[key_id] = key
+
+    def install_rsa_public(self, key_id: str, key: rsa.RSAPublicKey) -> None:
+        self._rsa_public[key_id] = key
+
+    def rsa_private(self, key_id: str) -> rsa.RSAPrivateKey:
+        key = self._rsa_private.get(key_id)
+        if key is None:
+            raise CryptoError(f"no RSA private key under id {key_id!r}")
+        return key
+
+    def rsa_public(self, key_id: str) -> rsa.RSAPublicKey:
+        key = self._rsa_public.get(key_id)
+        if key is None:
+            raise CryptoError(f"no RSA public key under id {key_id!r}")
+        return key
+
+    # -- shared secrets ---------------------------------------------------------
+
+    def install_secret(self, key_id: str, secret: bytes) -> None:
+        self._secrets[key_id] = secret
+
+    def secret(self, key_id: str) -> bytes:
+        secret = self._secrets.get(key_id)
+        if secret is None:
+            raise CryptoError(f"no shared secret under id {key_id!r}")
+        return secret
+
+    def has_secret(self, key_id: str) -> bool:
+        return key_id in self._secrets
+
+
+# -- conventional key-id naming -------------------------------------------------
+
+def rsa_private_id(owner: str) -> str:
+    return f"rsa-priv:{owner}"
+
+
+def rsa_public_id(owner: str) -> str:
+    return f"rsa-pub:{owner}"
+
+
+def shared_secret_id(a: str, b: str) -> str:
+    """Symmetric id for the pair — both ends compute the same name."""
+    first, second = sorted((a, b))
+    return f"hmac:{first}:{second}"
+
+
+def generate_shared_secret(a: str, b: str,
+                           rng: Optional[random.Random] = None) -> bytes:
+    rng = rng or random.Random()
+    return bytes(rng.getrandbits(8) for _ in range(32))

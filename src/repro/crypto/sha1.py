@@ -1,0 +1,66 @@
+"""Pure-Python SHA-1 (FIPS 180-4), used as the HMAC core when requested.
+
+The paper's HMAC scheme produces "a 160-bit SHA-1 cryptographic hash of
+the message data and a secret key".  The default HMAC implementation in
+:mod:`repro.crypto.hmac_sha1` uses :mod:`hashlib`'s C core for speed; this
+module provides the same function implemented from first principles, and
+the test-suite asserts byte equality between the two on random inputs —
+so the substrate is fully self-contained even where we borrow the fast
+path.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+_MASK = 0xFFFFFFFF
+
+
+def _rotl(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+def sha1(message: bytes) -> bytes:
+    """The 20-byte SHA-1 digest of ``message``."""
+    h0, h1, h2, h3, h4 = _H0
+
+    length_bits = len(message) * 8
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    padded += struct.pack(">Q", length_bits)
+
+    for block_start in range(0, len(padded), 64):
+        block = padded[block_start:block_start + 64]
+        w = list(struct.unpack(">16I", block))
+        for t in range(16, 80):
+            w.append(_rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+
+        a, b, c, d, e = h0, h1, h2, h3, h4
+        for t in range(80):
+            if t < 20:
+                f = (b & c) | ((~b) & d)
+                k = 0x5A827999
+            elif t < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif t < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            temp = (_rotl(a, 5) + f + e + k + w[t]) & _MASK
+            e, d, c, b, a = d, c, _rotl(b, 30), a, temp
+
+        h0 = (h0 + a) & _MASK
+        h1 = (h1 + b) & _MASK
+        h2 = (h2 + c) & _MASK
+        h3 = (h3 + d) & _MASK
+        h4 = (h4 + e) & _MASK
+
+    return struct.pack(">5I", h0, h1, h2, h3, h4)
+
+
+def sha1_hex(message: bytes) -> str:
+    return sha1(message).hex()

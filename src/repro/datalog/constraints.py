@@ -1,0 +1,95 @@
+"""Schema-constraint checking (paper section 3.2).
+
+A constraint ``F1 -> F2.`` means ``fail() <- F1, !(F2)``: evaluation fails
+whenever some assignment satisfies F1 but no extension of it satisfies F2.
+Both sides are stored in DNF.  RHS variables not bound by the LHS are
+existentially quantified — exactly what rules like exp3 need::
+
+    says(U,me,R) -> export[me](U,R,S), rsapubkey(U,K), rsaverify(R,S,K).
+
+(the witness S, K may be any signature/key pair that verifies).
+
+The checker enumerates LHS witnesses with the shared join core and probes
+each RHS alternative as a seeded sub-query, so builtins and negation work
+on both sides.  Violations are returned (not raised) — the workspace
+decides whether to abort a transaction or reject an imported message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .database import Database
+from .errors import SafetyError
+from .runtime import Bindings, EvalContext, build_plan, solve
+from .terms import Constraint
+
+
+@dataclass
+class Violation:
+    """One constraint violation witness."""
+
+    constraint: Constraint
+    bindings: Bindings
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(
+            f"{name}={value!r}" for name, value in sorted(self.bindings.items())
+            if not name.startswith("_")
+        )
+        return f"Violation({self.constraint!r} [{rendered}])"
+
+
+def check_constraint(constraint: Constraint, db: Database,
+                     context: EvalContext,
+                     limit: Optional[int] = None) -> list[Violation]:
+    """All (or the first ``limit``) violations of one constraint."""
+    if constraint.is_declaration():
+        return []
+    violations: list[Violation] = []
+    for witness in _lhs_witnesses(constraint, db, context):
+        if _rhs_satisfied(constraint, db, context, witness):
+            continue
+        violations.append(Violation(constraint, witness))
+        if limit is not None and len(violations) >= limit:
+            break
+    return violations
+
+
+def check_constraints(constraints: list, db: Database, context: EvalContext,
+                      limit: Optional[int] = None) -> list[Violation]:
+    """Check every constraint; returns the accumulated violations."""
+    violations: list[Violation] = []
+    for constraint in constraints:
+        remaining = None if limit is None else limit - len(violations)
+        if remaining is not None and remaining <= 0:
+            break
+        violations.extend(check_constraint(constraint, db, context, remaining))
+    return violations
+
+
+def _lhs_witnesses(constraint: Constraint, db: Database,
+                   context: EvalContext) -> Iterator[Bindings]:
+    for alternative in constraint.lhs:
+        try:
+            yield from solve(alternative, db, context)
+        except SafetyError as exc:
+            raise SafetyError(
+                f"constraint {constraint!r} has an unsafe left-hand side: {exc}"
+            ) from exc
+
+
+def _rhs_satisfied(constraint: Constraint, db: Database, context: EvalContext,
+                   witness: Bindings) -> bool:
+    for alternative in constraint.rhs:
+        try:
+            plan = build_plan(alternative, frozenset(witness),
+                              builtins=context.builtins)
+        except SafetyError as exc:
+            raise SafetyError(
+                f"constraint {constraint!r} has an unsafe right-hand side: {exc}"
+            ) from exc
+        for _ in solve(alternative, db, context, bindings=witness, plan=plan):
+            return True
+    return False

@@ -1,0 +1,131 @@
+"""In-memory relations with on-demand hash indexes.
+
+A :class:`Relation` is a set of ground tuples plus any number of hash
+indexes keyed by column subsets.  Indexes are built lazily the first time a
+join needs them and are maintained incrementally on insertion, which keeps
+the semi-naive fixpoint loop cheap (the paper's workloads — says/export
+chains — are join-heavy on one or two key columns).
+
+The :class:`Database` is a name → relation mapping with copy-on-write
+snapshots used by the workspace's transactional constraint enforcement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+
+class Relation:
+    """A named set of equal-length tuples with incremental hash indexes."""
+
+    __slots__ = ("name", "tuples", "_indexes")
+
+    def __init__(self, name: str, tuples: Optional[Iterable[tuple]] = None) -> None:
+        self.name = name
+        self.tuples: set[tuple] = set(tuples) if tuples else set()
+        self._indexes: dict[tuple, dict[tuple, list[tuple]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.tuples)
+
+    def __contains__(self, item: tuple) -> bool:
+        return item in self.tuples
+
+    def add(self, item: tuple) -> bool:
+        """Insert a tuple; return True if it was new."""
+        if item in self.tuples:
+            return False
+        self.tuples.add(item)
+        for positions, index in self._indexes.items():
+            key = tuple(item[p] for p in positions)
+            index.setdefault(key, []).append(item)
+        return True
+
+    def discard(self, item: tuple) -> bool:
+        """Remove a tuple; return True if it was present."""
+        if item not in self.tuples:
+            return False
+        self.tuples.discard(item)
+        for positions, index in self._indexes.items():
+            key = tuple(item[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove(item)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not bucket:
+                    del index[key]
+        return True
+
+    def lookup(self, positions: tuple, key: tuple) -> list[tuple]:
+        """All tuples whose ``positions`` columns equal ``key`` (indexed)."""
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for item in self.tuples:
+                item_key = tuple(item[p] for p in positions)
+                index.setdefault(item_key, []).append(item)
+            self._indexes[positions] = index
+        return index.get(key, [])
+
+    def copy(self) -> "Relation":
+        """A snapshot copy (indexes are rebuilt lazily on the copy)."""
+        return Relation(self.name, self.tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name}, {len(self.tuples)} tuples)"
+
+
+class Database:
+    """A mutable mapping from predicate name to :class:`Relation`."""
+
+    __slots__ = ("relations",)
+
+    def __init__(self) -> None:
+        self.relations: dict[str, Relation] = {}
+
+    def rel(self, name: str) -> Relation:
+        """The relation for ``name``, created empty on first reference."""
+        relation = self.relations.get(name)
+        if relation is None:
+            relation = Relation(name)
+            self.relations[name] = relation
+        return relation
+
+    def get(self, name: str) -> Optional[Relation]:
+        return self.relations.get(name)
+
+    def tuples(self, name: str) -> set[tuple]:
+        relation = self.relations.get(name)
+        return relation.tuples if relation is not None else set()
+
+    def add(self, name: str, item: tuple) -> bool:
+        return self.rel(name).add(item)
+
+    def discard(self, name: str, item: tuple) -> bool:
+        relation = self.relations.get(name)
+        return relation.discard(item) if relation is not None else False
+
+    def preds(self) -> list[str]:
+        return sorted(self.relations)
+
+    def total_facts(self) -> int:
+        return sum(len(r) for r in self.relations.values())
+
+    def snapshot(self) -> "Database":
+        """A deep-enough copy for transactional rollback."""
+        copy = Database()
+        for name, relation in self.relations.items():
+            copy.relations[name] = relation.copy()
+        return copy
+
+    def restore(self, snapshot: "Database") -> None:
+        """Replace all contents with ``snapshot``'s (rollback)."""
+        self.relations = {name: rel.copy() for name, rel in snapshot.relations.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.total_facts()} facts in {len(self.relations)} relations)"

@@ -1,0 +1,430 @@
+"""Bottom-up semi-naive fixpoint evaluation (the LogicBlox execution model).
+
+The paper (section 3.1): *"LogicBlox utilizes a bottom-up semi-naive
+fixpoint execution model for executing Datalog programs."*  This module is
+that execution model:
+
+* :func:`evaluate` — run a stratified program to fixpoint over a database;
+* :func:`propagate_insertions` — incremental maintenance for newly added
+  facts (semi-naive deltas through the strata; nonmonotone strata are
+  selectively recomputed from their EDB);
+* :func:`propagate_deletions` — DRed-style delete-and-rederive.
+
+Rules entering the engine are *normalized*: single head, ``me`` resolved,
+body quotes already compiled away by the meta layer (heads may still carry
+quote templates — instantiating those is code generation and happens here,
+through ``context.instantiate_quote``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from .database import Database, Relation
+from .errors import SafetyError
+from .runtime import (
+    Bindings,
+    EvalContext,
+    Plan,
+    build_plan,
+    instantiate_head,
+    solve,
+)
+from .stratify import Stratum, stratify
+from .terms import Aggregate, Atom, Literal, Rule, Variable
+
+#: pred -> set of tuples; the currency of incremental propagation.
+FactSet = dict[str, set]
+
+
+@dataclass
+class EngineRule:
+    """A normalized single-head rule plus its cached join plans."""
+
+    head: Atom
+    body: tuple
+    agg: Optional[Aggregate] = None
+    label: Optional[str] = None
+    source: Optional[Rule] = None
+    _plans: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def heads(self) -> tuple:
+        # Shape-compatibility with terms.Rule for stratify().
+        return (self.head,)
+
+    def plan(self, context: EvalContext, delta_position: Optional[int]) -> Plan:
+        plan = self._plans.get(delta_position)
+        if plan is None:
+            plan = build_plan(self.body, first=delta_position,
+                              builtins=context.builtins)
+            self._plans[delta_position] = plan
+        return plan
+
+    def positive_positions(self) -> list[int]:
+        return [
+            index for index, item in enumerate(self.body)
+            if isinstance(item, Literal) and not item.negated
+        ]
+
+    def body_preds(self) -> set:
+        return {
+            item.atom.pred for item in self.body if isinstance(item, Literal)
+        }
+
+    def __repr__(self) -> str:
+        name = self.label or "rule"
+        return f"<{name}: {self.head!r} <- {len(self.body)} items>"
+
+
+def normalize_rules(rules: Iterable[Rule]) -> list[EngineRule]:
+    """Split multi-head rules and wrap them for the engine."""
+    normalized = []
+    for rule in rules:
+        for head in rule.heads:
+            normalized.append(EngineRule(head, rule.body, rule.agg, rule.label, rule))
+    return normalized
+
+
+class ProvenanceStore:
+    """Optional why-provenance: one or more derivations per derived fact.
+
+    A derivation is ``(rule_label, ((pred, tuple), ...))`` listing the
+    positive body facts that supported the head.  EDB assertions are
+    recorded with the pseudo-label ``"$edb"``.
+    """
+
+    def __init__(self) -> None:
+        self.derivations: dict[tuple, set] = {}
+
+    def record(self, pred: str, fact: tuple, rule_label: str,
+               supports: tuple) -> None:
+        self.derivations.setdefault((pred, fact), set()).add((rule_label, supports))
+
+    def record_edb(self, pred: str, fact: tuple) -> None:
+        self.record(pred, fact, "$edb", ())
+
+    def forget(self, pred: str, fact: tuple) -> None:
+        self.derivations.pop((pred, fact), None)
+
+    def of(self, pred: str, fact: tuple) -> set:
+        return self.derivations.get((pred, fact), set())
+
+
+@dataclass
+class EvalStats:
+    """Counters describing one evaluation pass (used by benchmarks)."""
+
+    rounds: int = 0
+    derivations: int = 0
+    new_facts: int = 0
+
+    def merge(self, other: "EvalStats") -> None:
+        self.rounds += other.rounds
+        self.derivations += other.derivations
+        self.new_facts += other.new_facts
+
+
+# ---------------------------------------------------------------------------
+# Rule application
+# ---------------------------------------------------------------------------
+
+def apply_rule(rule: EngineRule, db: Database, context: EvalContext,
+               delta: Optional[FactSet] = None,
+               delta_position: Optional[int] = None,
+               provenance: Optional[ProvenanceStore] = None,
+               stats: Optional[EvalStats] = None) -> set:
+    """All head tuples derivable by one rule (optionally delta-restricted).
+
+    Returns tuples *not yet present* in the database.  Does not mutate the
+    database — callers merge the result so rounds stay well-defined.
+    """
+    produced: set = set()
+    head_relation = db.rel(rule.head.pred)
+    delta_relations: Optional[dict[str, Relation]] = None
+    if delta is not None:
+        delta_relations = {}
+        for pred, facts in delta.items():
+            relation = Relation(pred, facts)
+            delta_relations[pred] = relation
+    plan = rule.plan(context, delta_position)
+    for bindings in solve(rule.body, db, context, plan=plan,
+                          delta=delta_relations, delta_position=delta_position):
+        fact = instantiate_head(rule.head, bindings, context)
+        if stats is not None:
+            stats.derivations += 1
+        if fact in head_relation or fact in produced:
+            if provenance is not None:
+                _record_provenance(provenance, rule, fact, bindings, context)
+            continue
+        produced.add(fact)
+        if provenance is not None:
+            _record_provenance(provenance, rule, fact, bindings, context)
+    return produced
+
+
+def _record_provenance(provenance: ProvenanceStore, rule: EngineRule,
+                       fact: tuple, bindings: Bindings,
+                       context: EvalContext) -> None:
+    supports = []
+    for item in rule.body:
+        if isinstance(item, Literal) and not item.negated:
+            body_fact = instantiate_head(item.atom, bindings, context)
+            supports.append((item.atom.pred, body_fact))
+    provenance.record(rule.head.pred, fact, rule.label or "rule",
+                      tuple(supports))
+
+
+def apply_aggregate_rule(rule: EngineRule, db: Database, context: EvalContext,
+                         stats: Optional[EvalStats] = None) -> set:
+    """Evaluate one aggregate rule over the (complete) lower strata.
+
+    Grouping keys are the head variables other than the aggregate result;
+    solutions are deduplicated on the full variable assignment before the
+    aggregate function is applied (set semantics, matching LogicBlox's
+    ``agg<<>>`` over distinct derivations).
+    """
+    agg = rule.agg
+    if agg is None:  # pragma: no cover - guarded by callers
+        raise SafetyError("apply_aggregate_rule on a non-aggregate rule")
+    groups: dict[tuple, list] = {}
+    seen_signatures: set = set()
+    from .runtime import eval_term  # local import to avoid cycle at module load
+
+    head_vars = [
+        term for term in rule.head.all_args
+    ]
+    for bindings in solve(rule.body, db, context,
+                          plan=rule.plan(context, None)):
+        signature = tuple(sorted(bindings.items(),
+                                 key=lambda pair: pair[0]))
+        if signature in seen_signatures:
+            continue
+        seen_signatures.add(signature)
+        over_value = eval_term(agg.over, bindings, context)
+        group_key = tuple(
+            eval_term(term, bindings, context)
+            for term in head_vars
+            if not (isinstance(term, Variable) and term.name == agg.result.name)
+        )
+        groups.setdefault(group_key, []).append(over_value)
+        if stats is not None:
+            stats.derivations += 1
+
+    produced: set = set()
+    head_relation = db.rel(rule.head.pred)
+    for group_key, values in groups.items():
+        result = _aggregate(agg.func, values)
+        if result is None:
+            continue
+        key_iter = iter(group_key)
+        fact = []
+        for term in head_vars:
+            if isinstance(term, Variable) and term.name == agg.result.name:
+                fact.append(result)
+            else:
+                fact.append(next(key_iter))
+        fact_tuple = tuple(fact)
+        if fact_tuple not in head_relation:
+            produced.add(fact_tuple)
+    return produced
+
+
+def _aggregate(func: str, values: list):
+    if func == "count":
+        return len(values)
+    if not values:
+        return None
+    if func == "total":
+        return sum(values)
+    if func == "min":
+        return min(values)
+    if func == "max":
+        return max(values)
+    raise SafetyError(f"unknown aggregate {func!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Stratum evaluation
+# ---------------------------------------------------------------------------
+
+def eval_stratum(stratum: Stratum, db: Database, context: EvalContext,
+                 provenance: Optional[ProvenanceStore] = None,
+                 changed: Optional[FactSet] = None,
+                 stats: Optional[EvalStats] = None) -> FactSet:
+    """Run one stratum to fixpoint; return the facts it added.
+
+    ``changed`` restricts the initial pass to delta positions (incremental
+    mode); when None the initial pass applies every rule in full.
+    """
+    stats = stats if stats is not None else EvalStats()
+    added: FactSet = {}
+
+    def merge(new_facts: set, pred: str, delta_pool: FactSet) -> None:
+        if not new_facts:
+            return
+        relation = db.rel(pred)
+        for fact in new_facts:
+            if relation.add(fact):
+                added.setdefault(pred, set()).add(fact)
+                delta_pool.setdefault(pred, set()).add(fact)
+                stats.new_facts += 1
+
+    # 1. Aggregate rules: bodies live strictly below this stratum.
+    delta: FactSet = {}
+    for rule in stratum.agg_rules:
+        merge(apply_aggregate_rule(rule, db, context, stats), rule.head.pred, delta)
+
+    # 2. Initial pass.
+    if changed is None:
+        for rule in stratum.rules:
+            merge(apply_rule(rule, db, context, provenance=provenance,
+                             stats=stats), rule.head.pred, delta)
+    else:
+        for pred, facts in changed.items():
+            delta.setdefault(pred, set()).update(facts)
+        next_delta: FactSet = {}
+        for rule in stratum.rules:
+            for position in rule.positive_positions():
+                literal = rule.body[position]
+                if literal.atom.pred in delta:
+                    merge(apply_rule(rule, db, context, delta, position,
+                                     provenance, stats),
+                          rule.head.pred, next_delta)
+        delta = next_delta
+
+    # 3. Semi-naive rounds.
+    while delta:
+        stats.rounds += 1
+        next_delta = {}
+        for rule in stratum.rules:
+            for position in rule.positive_positions():
+                literal = rule.body[position]
+                if literal.atom.pred in delta:
+                    merge(apply_rule(rule, db, context, delta, position,
+                                     provenance, stats),
+                          rule.head.pred, next_delta)
+        delta = next_delta
+
+    return added
+
+
+# ---------------------------------------------------------------------------
+# Full evaluation
+# ---------------------------------------------------------------------------
+
+def evaluate(rules: Iterable[Rule], db: Database,
+             context: Optional[EvalContext] = None,
+             provenance: Optional[ProvenanceStore] = None,
+             stats: Optional[EvalStats] = None) -> FactSet:
+    """Run a whole program to fixpoint; return every fact added."""
+    context = context or EvalContext()
+    rule_list = list(rules)
+    if all(isinstance(r, EngineRule) for r in rule_list):
+        engine_rules = rule_list
+    else:
+        engine_rules = normalize_rules(rule_list)
+    strata = stratify(engine_rules)
+    added: FactSet = {}
+    for stratum in strata:
+        stratum_added = eval_stratum(stratum, db, context, provenance,
+                                     changed=None, stats=stats)
+        for pred, facts in stratum_added.items():
+            added.setdefault(pred, set()).update(facts)
+    return added
+
+
+# ---------------------------------------------------------------------------
+# Incremental insertion
+# ---------------------------------------------------------------------------
+
+def propagate_insertions(strata: list, db: Database, context: EvalContext,
+                         inserted: FactSet,
+                         edb_facts: Optional[Callable[[str], set]] = None,
+                         provenance: Optional[ProvenanceStore] = None,
+                         stats: Optional[EvalStats] = None) -> FactSet:
+    """Incrementally maintain the database after EDB insertions.
+
+    ``inserted`` are facts already added to ``db``.  Monotone strata are
+    maintained with semi-naive deltas; strata containing negation or
+    aggregation whose inputs changed are recomputed from their EDB
+    (``edb_facts`` supplies the asserted facts of a predicate).
+    """
+    changed: FactSet = {pred: set(facts) for pred, facts in inserted.items()}
+    total_added: FactSet = {}
+    for stratum in strata:
+        relevant = _stratum_reads(stratum) | set(stratum.preds)
+        if not (relevant & set(changed)):
+            continue
+        if stratum.nonmonotone:
+            added, removed = recompute_stratum(stratum, db, context, edb_facts,
+                                               provenance, stats)
+            for pred, facts in added.items():
+                changed.setdefault(pred, set()).update(facts)
+                total_added.setdefault(pred, set()).update(facts)
+            # Removals from a recomputed stratum propagate as deletions.
+            if removed:
+                _propagate_removals_upward(strata, stratum, db, context,
+                                           removed, edb_facts, provenance,
+                                           stats, changed, total_added)
+        else:
+            added = eval_stratum(stratum, db, context, provenance,
+                                 changed=changed, stats=stats)
+            for pred, facts in added.items():
+                changed.setdefault(pred, set()).update(facts)
+                total_added.setdefault(pred, set()).update(facts)
+    return total_added
+
+
+def _stratum_reads(stratum: Stratum) -> set:
+    reads: set = set()
+    for rule in list(stratum.rules) + list(stratum.agg_rules):
+        reads |= rule.body_preds()
+    return reads
+
+
+def recompute_stratum(stratum: Stratum, db: Database, context: EvalContext,
+                      edb_facts: Optional[Callable[[str], set]],
+                      provenance: Optional[ProvenanceStore] = None,
+                      stats: Optional[EvalStats] = None) -> tuple:
+    """Reset a stratum's predicates to their EDB and re-derive.
+
+    Returns ``(added, removed)`` fact-sets relative to the prior state.
+    """
+    if edb_facts is None:
+        raise SafetyError(
+            "nonmonotone stratum changed but no EDB accessor was provided; "
+            "use a full re-evaluation instead"
+        )
+    old: dict[str, set] = {}
+    for pred in stratum.preds:
+        relation = db.rel(pred)
+        old[pred] = set(relation.tuples)
+        base = edb_facts(pred) or set()
+        for fact in old[pred] - base:
+            relation.discard(fact)
+            if provenance is not None:
+                provenance.forget(pred, fact)
+    eval_stratum(stratum, db, context, provenance, changed=None, stats=stats)
+    added: FactSet = {}
+    removed: FactSet = {}
+    for pred in stratum.preds:
+        new_facts = db.tuples(pred)
+        grew = new_facts - old[pred]
+        shrank = old[pred] - new_facts
+        if grew:
+            added[pred] = grew
+        if shrank:
+            removed[pred] = shrank
+    return added, removed
+
+
+def _propagate_removals_upward(strata, from_stratum, db, context, removed,
+                               edb_facts, provenance, stats, changed,
+                               total_added) -> None:
+    """Feed deletions produced by a recomputed stratum into higher strata."""
+    from .incremental import propagate_deletions_from  # late import (cycle)
+    higher = [s for s in strata if s.number > from_stratum.number]
+    propagate_deletions_from(higher, db, context, removed, edb_facts,
+                             provenance, stats)

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the Datalog substrate and the LBTrust layers.
+
+Every error raised by this package derives from :class:`ReproError`, so
+applications can catch one base class.  The evaluation-facing errors carry
+structured payloads (the offending rule, bindings, …) because trust
+management treats constraint violations as *data*: a rejected import is an
+auditable event, not just a stack trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ParseError(ReproError):
+    """A syntax error in a Datalog / LBTrust source text.
+
+    Carries the source position so front-ends can point at the offending
+    token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class SafetyError(ReproError):
+    """A rule violates Datalog safety (unbound head/negated variables)."""
+
+
+class StratificationError(ReproError):
+    """The program has negation or aggregation inside a recursive cycle."""
+
+
+class TypeError_(ReproError):
+    """A static or dynamic type-declaration constraint failed."""
+
+
+class BuiltinError(ReproError):
+    """A builtin predicate was called with an unsupported binding pattern."""
+
+
+class ConstraintViolation(ReproError):
+    """A schema constraint or meta-constraint derived ``fail()``.
+
+    Attributes:
+        constraint: the source-level constraint (or fail-rule) that fired.
+        bindings: one witness assignment of values that violated it.
+    """
+
+    def __init__(self, constraint: Any, bindings: dict[str, Any] | None = None,
+                 message: str | None = None) -> None:
+        self.constraint = constraint
+        self.bindings = dict(bindings or {})
+        if message is None:
+            message = f"constraint violated: {constraint}"
+            if self.bindings:
+                rendered = ", ".join(
+                    f"{name}={value!r}" for name, value in sorted(self.bindings.items())
+                )
+                message = f"{message} [{rendered}]"
+        super().__init__(message)
+
+
+class ActivationLimitError(ReproError):
+    """Meta-programmed code generation did not quiesce within the cap."""
+
+
+class CryptoError(ReproError):
+    """Signature/MAC verification failed or key material is missing."""
+
+
+class WorkspaceError(ReproError):
+    """Misuse of the workspace API (unknown predicate, arity clash, …)."""
+
+
+class NetworkError(ReproError):
+    """Simulated-network misuse (unknown node, undeliverable message)."""

@@ -1,0 +1,65 @@
+"""Naive bottom-up evaluation — the ablation baseline for benchmark A1.
+
+Same stratified semantics as :mod:`repro.datalog.engine`, but every round
+re-applies every rule against the *full* database instead of restricting
+one body literal to the delta.  Kept deliberately simple: the property
+tests assert it computes exactly the same models as the semi-naive engine,
+and ``benchmarks/bench_eval_strategies.py`` shows the asymptotic gap the
+semi-naive optimization buys (the reason LogicBlox, and every serious
+Datalog engine, uses it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .database import Database
+from .engine import (
+    EngineRule,
+    EvalStats,
+    apply_aggregate_rule,
+    apply_rule,
+    normalize_rules,
+)
+from .runtime import EvalContext
+from .stratify import stratify
+from .terms import Rule
+
+
+def evaluate_naive(rules: Iterable[Rule], db: Database,
+                   context: Optional[EvalContext] = None,
+                   stats: Optional[EvalStats] = None) -> dict:
+    """Run a program to fixpoint naively; returns facts added per predicate."""
+    context = context or EvalContext()
+    rule_list = list(rules)
+    if all(isinstance(r, EngineRule) for r in rule_list):
+        engine_rules = rule_list
+    else:
+        engine_rules = normalize_rules(rule_list)
+    strata = stratify(engine_rules)
+    stats = stats if stats is not None else EvalStats()
+    added: dict[str, set] = {}
+
+    for stratum in strata:
+        for rule in stratum.agg_rules:
+            new_facts = apply_aggregate_rule(rule, db, context, stats)
+            _merge(db, added, rule.head.pred, new_facts, stats)
+        changed = True
+        while changed:
+            changed = False
+            stats.rounds += 1
+            for rule in stratum.rules:
+                new_facts = apply_rule(rule, db, context, stats=stats)
+                if new_facts:
+                    _merge(db, added, rule.head.pred, new_facts, stats)
+                    changed = True
+    return added
+
+
+def _merge(db: Database, added: dict, pred: str, facts: set,
+           stats: EvalStats) -> None:
+    relation = db.rel(pred)
+    for fact in facts:
+        if relation.add(fact):
+            added.setdefault(pred, set()).add(fact)
+            stats.new_facts += 1

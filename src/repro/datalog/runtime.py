@@ -1,0 +1,462 @@
+"""The join core: term evaluation, literal matching, conjunction solving.
+
+Everything that enumerates satisfying assignments of a conjunctive body —
+bottom-up rule application, semi-naive deltas, constraint checking,
+tabled top-down resolution — funnels through :func:`solve`, so correctness
+fixes and index use land in one place.
+
+A *binding* is a plain ``dict`` mapping variable names to ground Python
+values.  Plans order body items so that every comparison, builtin call and
+negated literal runs as soon as its inputs are bound (they are cheap
+filters), and positive literals are chosen greedily by how many of their
+columns are already bound (so the relation index can be used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from .builtins import (
+    BuiltinRegistry,
+    apply_arith,
+    apply_comparison,
+    invoke_builtin,
+    standard_registry,
+)
+from .database import Database, Relation
+from .errors import BuiltinError, SafetyError
+from .terms import (
+    Atom,
+    BuiltinCall,
+    Comparison,
+    Constant,
+    Expr,
+    Literal,
+    PartitionTerm,
+    PredPartition,
+    Quote,
+    Rule,
+    Term,
+    Variable,
+)
+
+Bindings = dict[str, Any]
+
+
+@dataclass
+class EvalContext:
+    """Everything a body evaluation needs besides the database.
+
+    ``instantiate_quote`` is provided by the meta layer
+    (:mod:`repro.meta.registry`): it turns a head-position quote template
+    plus current bindings into a :class:`repro.datalog.terms.RuleRef`.
+    Pure-Datalog programs never exercise it.
+    """
+
+    builtins: BuiltinRegistry = field(default_factory=standard_registry)
+    instantiate_quote: Optional[Callable[[Quote, Bindings], Any]] = None
+    #: opaque payload handed to context-needing builtins (e.g. the keystore)
+    payload: Any = None
+
+
+class Unbound(Exception):
+    """Internal signal: a term mentioned an unbound variable."""
+
+
+def eval_term(term: Term, bindings: Bindings, context: EvalContext) -> Any:
+    """Evaluate a term to a ground value; raise :class:`Unbound` if it can't."""
+    if isinstance(term, Constant):
+        return term.value
+    if isinstance(term, Variable):
+        try:
+            return bindings[term.name]
+        except KeyError:
+            raise Unbound(term.name) from None
+    if isinstance(term, Expr):
+        left = eval_term(term.left, bindings, context)
+        right = eval_term(term.right, bindings, context)
+        return apply_arith(term.op, left, right)
+    if isinstance(term, PartitionTerm):
+        keys = tuple(eval_term(k, bindings, context) for k in term.keys)
+        return PredPartition(term.pred, keys)
+    if isinstance(term, Quote):
+        if context.instantiate_quote is None:
+            raise BuiltinError(
+                "quote template encountered but no meta registry is attached"
+            )
+        return context.instantiate_quote(term, bindings)
+    raise BuiltinError(f"cannot evaluate term {term!r}")  # pragma: no cover
+
+
+def term_vars(term: Term) -> set[str]:
+    return {v.name for v in term.variables()}
+
+
+def item_input_vars(item) -> set[str]:
+    """Variables that must be bound before ``item`` can run as a filter."""
+    if isinstance(item, Literal):
+        return {v.name for v in item.variables()} if item.negated else set()
+    if isinstance(item, Comparison):
+        if item.op == "=":
+            # '=' can bind one unbound side; inputs are the other side's vars.
+            return set()
+        return term_vars(item.left) | term_vars(item.right)
+    if isinstance(item, BuiltinCall):
+        return set()
+    raise TypeError(f"unexpected body item {item!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Literal matching
+# ---------------------------------------------------------------------------
+
+def match_literal(atom: Atom, relation: Relation, bindings: Bindings,
+                  context: EvalContext) -> Iterator[Bindings]:
+    """Yield extensions of ``bindings`` for each matching tuple.
+
+    Bound columns are collected first so the relation's hash index can
+    narrow the scan; remaining columns bind or filter positionally.
+    """
+    args = atom.all_args
+    bound_positions: list[int] = []
+    bound_values: list[Any] = []
+    free: list[tuple[int, Variable]] = []
+    # Variables occurring twice among the free args need an equality check.
+    for position, term in enumerate(args):
+        if isinstance(term, Variable) and term.name not in bindings:
+            free.append((position, term))
+            continue
+        try:
+            value = eval_term(term, bindings, context)
+        except Unbound as exc:
+            raise SafetyError(
+                f"argument {term!r} of {atom.pred} is not bound at join time"
+            ) from exc
+        bound_positions.append(position)
+        bound_values.append(value)
+
+    if bound_positions:
+        candidates = relation.lookup(tuple(bound_positions), tuple(bound_values))
+    else:
+        candidates = relation.tuples
+
+    for row in candidates:
+        if len(row) != len(args):
+            continue  # arity mismatch: treat as no match (catalog prevents this)
+        new_bindings: Optional[Bindings] = None
+        ok = True
+        for position, var in free:
+            value = row[position]
+            if new_bindings is None:
+                new_bindings = dict(bindings)
+            if var.name in new_bindings:
+                if new_bindings[var.name] != value:
+                    ok = False
+                    break
+            else:
+                new_bindings[var.name] = value
+        if not ok:
+            continue
+        yield new_bindings if new_bindings is not None else dict(bindings)
+
+
+def literal_holds(atom: Atom, relation: Relation, bindings: Bindings,
+                  context: EvalContext) -> bool:
+    """True iff the (fully evaluable or partially free) atom has a match."""
+    for _ in match_literal(atom, relation, bindings, context):
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Plan:
+    """An execution order for a conjunction; built once, reused every round."""
+
+    steps: tuple
+
+    def __iter__(self):
+        return iter(self.steps)
+
+
+def build_plan(items: tuple, initially_bound: frozenset = frozenset(),
+               first: Optional[int] = None,
+               builtins: Optional[BuiltinRegistry] = None) -> Plan:
+    """Order ``items`` for evaluation.
+
+    ``first`` optionally forces one positive literal to the front (the
+    semi-naive delta position).  Raises :class:`SafetyError` when some item
+    can never have its inputs bound (unsafe rule).
+    """
+    remaining = list(range(len(items)))
+    bound: set[str] = set(initially_bound)
+    order: list[int] = []
+
+    # Variables occurring only inside one negated literal are existential
+    # within the negation ("no matching tuple exists"), e.g. the paper's
+    # dd4 constraint `... -> !delegates(me,_,P)`.  A negated literal is
+    # ready once its *shared* variables are bound.
+    occurrences: dict[str, int] = {}
+    for item in items:
+        for name in {v.name for v in item.variables()}:
+            occurrences[name] = occurrences.get(name, 0) + 1
+
+    def shared_vars(item) -> set[str]:
+        return {
+            v.name for v in item.variables()
+            if occurrences.get(v.name, 0) > 1 or v.name in initially_bound
+        }
+
+    def is_positive_literal(index: int) -> bool:
+        item = items[index]
+        return isinstance(item, Literal) and not item.negated
+
+    def ready(index: int) -> bool:
+        item = items[index]
+        if isinstance(item, Literal):
+            if not item.negated:
+                return True
+            return shared_vars(item) <= bound
+        if isinstance(item, Comparison):
+            left_vars = term_vars(item.left)
+            right_vars = term_vars(item.right)
+            if item.op == "=":
+                if left_vars <= bound and right_vars <= bound:
+                    return True
+                # one side may be a single unbound variable (assignment mode)
+                if left_vars <= bound and isinstance(item.right, Variable):
+                    return True
+                if right_vars <= bound and isinstance(item.left, Variable):
+                    return True
+                return False
+            return left_vars | right_vars <= bound
+        if isinstance(item, BuiltinCall):
+            definition = builtins.lookup(item.name) if builtins else None
+            if definition is None:
+                raise SafetyError(f"unknown builtin {item.name!r}")
+            if definition.arity != len(item.args):
+                raise SafetyError(
+                    f"builtin {item.name!r} expects {definition.arity} args, "
+                    f"got {len(item.args)}"
+                )
+            for position in definition.input_positions:
+                if not term_vars(item.args[position]) <= bound:
+                    return False
+            return True
+        raise TypeError(f"unexpected body item {item!r}")  # pragma: no cover
+
+    def bind_outputs(index: int) -> None:
+        item = items[index]
+        if isinstance(item, Literal) and not item.negated:
+            bound.update(v.name for v in item.variables())
+        elif isinstance(item, Comparison) and item.op == "=":
+            bound.update(term_vars(item.left) | term_vars(item.right))
+        elif isinstance(item, BuiltinCall):
+            definition = builtins.lookup(item.name) if builtins else None
+            if definition is not None:
+                for position in definition.output_positions:
+                    bound.update(term_vars(item.args[position]))
+
+    if first is not None:
+        order.append(first)
+        remaining.remove(first)
+        bind_outputs(first)
+
+    while remaining:
+        # 1. flush every ready filter/binder that is not a positive literal
+        progressed = True
+        while progressed:
+            progressed = False
+            for index in list(remaining):
+                if not is_positive_literal(index) and ready(index):
+                    order.append(index)
+                    remaining.remove(index)
+                    bind_outputs(index)
+                    progressed = True
+        if not remaining:
+            break
+        # 2. choose the next positive literal: most bound columns, then source order
+        candidates = [i for i in remaining if is_positive_literal(i)]
+        if not candidates:
+            unready = [repr(items[i]) for i in remaining]
+            raise SafetyError(f"unsafe conjunction; cannot schedule: {unready}")
+
+        def boundness(index: int) -> tuple:
+            item = items[index]
+            vars_in = {v.name for v in item.variables()}
+            return (len(vars_in & bound), -index)
+
+        best = max(candidates, key=boundness)
+        order.append(best)
+        remaining.remove(best)
+        bind_outputs(best)
+
+    return Plan(tuple((i, items[i]) for i in order))
+
+
+# ---------------------------------------------------------------------------
+# Conjunction solving
+# ---------------------------------------------------------------------------
+
+def solve(items: tuple, db: Database, context: EvalContext,
+          bindings: Optional[Bindings] = None,
+          plan: Optional[Plan] = None,
+          delta: Optional[dict[str, Relation]] = None,
+          delta_position: Optional[int] = None) -> Iterator[Bindings]:
+    """Enumerate all satisfying assignments of a conjunction.
+
+    ``delta``/``delta_position`` implement semi-naive evaluation: the
+    literal at ``delta_position`` scans the delta relation instead of the
+    full one.
+    """
+    bindings = dict(bindings or {})
+    if plan is None:
+        plan = build_plan(items, frozenset(bindings), first=delta_position,
+                          builtins=context.builtins)
+
+    def run(step_index: int, current: Bindings) -> Iterator[Bindings]:
+        if step_index >= len(plan.steps):
+            yield current
+            return
+        item_index, item = plan.steps[step_index]
+        if isinstance(item, Literal):
+            source: Relation
+            if delta is not None and item_index == delta_position:
+                source = delta.get(item.atom.pred) or Relation(item.atom.pred)
+            else:
+                source = db.rel(item.atom.pred)
+            if item.negated:
+                if not literal_holds(item.atom, source, current, context):
+                    yield from run(step_index + 1, current)
+                return
+            for extended in match_literal(item.atom, source, current, context):
+                yield from run(step_index + 1, extended)
+            return
+        if isinstance(item, Comparison):
+            yield from _solve_comparison(item, current, context, plan, step_index, run)
+            return
+        if isinstance(item, BuiltinCall):
+            yield from _solve_builtin(item, current, context, plan, step_index, run)
+            return
+        raise TypeError(f"unexpected body item {item!r}")  # pragma: no cover
+
+    yield from run(0, bindings)
+
+
+def _solve_comparison(item: Comparison, current: Bindings, context: EvalContext,
+                      plan: Plan, step_index: int, run) -> Iterator[Bindings]:
+    if item.op == "=":
+        left_unbound = isinstance(item.left, Variable) and item.left.name not in current
+        right_unbound = isinstance(item.right, Variable) and item.right.name not in current
+        if left_unbound and not right_unbound:
+            value = eval_term(item.right, current, context)
+            extended = dict(current)
+            extended[item.left.name] = value
+            yield from run(step_index + 1, extended)
+            return
+        if right_unbound and not left_unbound:
+            value = eval_term(item.left, current, context)
+            extended = dict(current)
+            extended[item.right.name] = value
+            yield from run(step_index + 1, extended)
+            return
+    left = eval_term(item.left, current, context)
+    right = eval_term(item.right, current, context)
+    if apply_comparison(item.op, left, right):
+        yield from run(step_index + 1, current)
+
+
+def _solve_builtin(item: BuiltinCall, current: Bindings, context: EvalContext,
+                   plan: Plan, step_index: int, run) -> Iterator[Bindings]:
+    definition = context.builtins.lookup(item.name)
+    if definition is None:
+        raise SafetyError(f"unknown builtin {item.name!r}")
+    inputs = tuple(
+        eval_term(item.args[p], current, context)
+        for p in definition.input_positions
+    )
+    for row in invoke_builtin(definition, inputs, context.payload):
+        extended = dict(current)
+        ok = True
+        for out_value, position in zip(row, definition.output_positions):
+            target = item.args[position]
+            if isinstance(target, Variable):
+                existing = extended.get(target.name, _MISSING)
+                if existing is _MISSING:
+                    extended[target.name] = out_value
+                elif existing != out_value:
+                    ok = False
+                    break
+            else:
+                if eval_term(target, extended, context) != out_value:
+                    ok = False
+                    break
+        if ok:
+            yield from run(step_index + 1, extended)
+
+
+_MISSING = object()
+
+
+def bindable_vars(items: tuple, builtins: Optional[BuiltinRegistry] = None) -> set:
+    """Variables a conjunction can bind (positive literals, '=', outputs)."""
+    bound: set = set()
+    for item in items:
+        if isinstance(item, Literal) and not item.negated:
+            bound.update(v.name for v in item.variables())
+        elif isinstance(item, Comparison) and item.op == "=":
+            bound.update(term_vars(item.left) | term_vars(item.right))
+        elif isinstance(item, BuiltinCall) and builtins is not None:
+            definition = builtins.lookup(item.name)
+            if definition is not None:
+                for position in definition.output_positions:
+                    if position < len(item.args):
+                        bound.update(term_vars(item.args[position]))
+    return bound
+
+
+def check_rule_safety(rule, builtins: Optional[BuiltinRegistry] = None) -> None:
+    """Raise :class:`SafetyError` for unschedulable bodies or unbound heads.
+
+    Variables inside head-position quote templates are exempt: they may
+    legitimately remain variables of the generated rule.
+    """
+    build_plan(rule.body, builtins=builtins)
+    bound = bindable_vars(rule.body, builtins)
+    if rule.agg is not None:
+        bound.add(rule.agg.result.name)
+    for head in rule.heads:
+        for term in head.all_args:
+            if isinstance(term, Quote):
+                continue
+            missing = term_vars(term) - bound
+            if missing:
+                raise SafetyError(
+                    f"head variable(s) {sorted(missing)} of {head.pred!r} "
+                    f"are not bound by the rule body (not range-restricted)"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Head instantiation
+# ---------------------------------------------------------------------------
+
+def instantiate_head(atom: Atom, bindings: Bindings, context: EvalContext) -> tuple:
+    """Produce the ground tuple for a rule head under ``bindings``."""
+    try:
+        return tuple(eval_term(term, bindings, context) for term in atom.all_args)
+    except Unbound as exc:
+        raise SafetyError(
+            f"head variable {exc.args[0]!r} of {atom.pred} is not bound by the body"
+        ) from exc
+
+
+def rule_head_vars(rule: Rule) -> set[str]:
+    names: set[str] = set()
+    for head in rule.heads:
+        names.update(v.name for v in head.variables())
+    return names

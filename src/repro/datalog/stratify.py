@@ -1,0 +1,195 @@
+"""Predicate dependency analysis and stratification.
+
+LogicBlox (and our engine) evaluates bottom-up with stratified negation and
+aggregation: a predicate may only be negated or aggregated over once its
+stratum is fully computed.  We build the predicate dependency graph, find
+strongly connected components with an iterative Tarjan, and assign stratum
+numbers; a negative (or aggregate) edge inside an SCC is a
+:class:`StratificationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .errors import StratificationError
+from .terms import Literal, Rule
+
+
+@dataclass
+class DepGraph:
+    """Predicate dependency graph: edges body-pred → head-pred."""
+
+    preds: set = field(default_factory=set)
+    positive: dict = field(default_factory=dict)   # pred -> set of preds it feeds
+    negative: dict = field(default_factory=dict)
+
+    def add_pred(self, pred: str) -> None:
+        self.preds.add(pred)
+        self.positive.setdefault(pred, set())
+        self.negative.setdefault(pred, set())
+
+    def add_edge(self, source: str, target: str, negative: bool) -> None:
+        self.add_pred(source)
+        self.add_pred(target)
+        if negative:
+            self.negative[source].add(target)
+        else:
+            self.positive[source].add(target)
+
+
+def dependency_graph(rules: Iterable[Rule]) -> DepGraph:
+    """Build the dependency graph of a (single-head) rule collection.
+
+    Aggregate rules contribute *negative* edges from every body predicate:
+    the aggregate value is only meaningful once its inputs are complete,
+    exactly like negation.
+    """
+    graph = DepGraph()
+    for rule in rules:
+        for head in rule.heads:
+            graph.add_pred(head.pred)
+            for item in rule.body:
+                if not isinstance(item, Literal):
+                    continue
+                negative = item.negated or rule.agg is not None
+                graph.add_edge(item.atom.pred, head.pred, negative)
+    return graph
+
+
+def tarjan_sccs(graph: DepGraph) -> list[frozenset]:
+    """Strongly connected components, iteratively (no recursion limit)."""
+    index_counter = 0
+    stack: list[str] = []
+    on_stack: set[str] = set()
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    result: list[frozenset] = []
+
+    def successors(node: str) -> list[str]:
+        return sorted(graph.positive.get(node, ()) | graph.negative.get(node, ()))
+
+    for root in sorted(graph.preds):
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = successors(node)
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in index:
+                    work[-1] = (node, child_index)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(frozenset(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return result
+
+
+def assign_strata(graph: DepGraph) -> dict[str, int]:
+    """Map each predicate to its stratum number (0-based).
+
+    Raises :class:`StratificationError` if a negative edge lies inside a
+    cycle (negation/aggregation through recursion).
+    """
+    sccs = tarjan_sccs(graph)
+    component_of: dict[str, int] = {}
+    for component_id, component in enumerate(sccs):
+        for pred in component:
+            component_of[pred] = component_id
+
+    # Negative self-dependency check.
+    for source, targets in graph.negative.items():
+        for target in targets:
+            if component_of[source] == component_of[target]:
+                raise StratificationError(
+                    f"predicate {target!r} depends negatively on {source!r} "
+                    f"inside a recursive cycle; the program is not stratifiable"
+                )
+
+    # Tarjan emits SCCs in reverse topological order (dependents first);
+    # process them reversed so every source component is assigned before
+    # the components that read it.
+    strata: dict[int, int] = {}
+    for component_id in reversed(range(len(sccs))):
+        stratum = 0
+        for pred in sccs[component_id]:
+            for source in graph.preds:
+                if pred in graph.positive.get(source, ()):
+                    if component_of[source] != component_id:
+                        stratum = max(stratum, strata.get(component_of[source], 0))
+                if pred in graph.negative.get(source, ()):
+                    stratum = max(stratum, strata.get(component_of[source], 0) + 1)
+        strata[component_id] = stratum
+
+    return {pred: strata[component_of[pred]] for pred in graph.preds}
+
+
+@dataclass
+class Stratum:
+    """One evaluation layer: its predicates and the rules defining them."""
+
+    number: int
+    preds: frozenset
+    rules: list            # non-aggregate rules
+    agg_rules: list        # aggregate rules (evaluated once, first)
+
+    @property
+    def has_negation(self) -> bool:
+        return any(
+            isinstance(item, Literal) and item.negated
+            for rule in self.rules
+            for item in rule.body
+        )
+
+    @property
+    def nonmonotone(self) -> bool:
+        """True when incremental insertion cannot use plain semi-naive."""
+        return self.has_negation or bool(self.agg_rules)
+
+
+def stratify(rules: list) -> list[Stratum]:
+    """Partition single-head rules into an ordered list of strata."""
+    graph = dependency_graph(rules)
+    levels = assign_strata(graph)
+    by_level: dict[int, list] = {}
+    for rule in rules:
+        level = max(levels[head.pred] for head in rule.heads)
+        by_level.setdefault(level, []).append(rule)
+    strata = []
+    for level in sorted(by_level):
+        level_rules = by_level[level]
+        preds = frozenset(head.pred for rule in level_rules for head in rule.heads)
+        strata.append(Stratum(
+            number=level,
+            preds=preds,
+            rules=[r for r in level_rules if r.agg is None],
+            agg_rules=[r for r in level_rules if r.agg is not None],
+        ))
+    return strata

@@ -1,0 +1,107 @@
+"""First-order unification over terms and atoms.
+
+The bottom-up engine does not need general unification (it matches ground
+tuples), but the meta layer's template instantiation, the test-suite's
+algebraic properties, and external tooling benefit from having the real
+thing: most-general unifiers with occurs-check over our term language.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .terms import Atom, Constant, Expr, PartitionTerm, Quote, Term, Variable
+
+Substitution = dict[str, Term]
+
+
+def walk(term: Term, subst: Substitution) -> Term:
+    """Resolve a term through the substitution until fixed."""
+    while isinstance(term, Variable) and term.name in subst:
+        term = subst[term.name]
+    return term
+
+
+def occurs(name: str, term: Term, subst: Substitution) -> bool:
+    term = walk(term, subst)
+    if isinstance(term, Variable):
+        return term.name == name
+    if isinstance(term, Expr):
+        return occurs(name, term.left, subst) or occurs(name, term.right, subst)
+    if isinstance(term, PartitionTerm):
+        return any(occurs(name, key, subst) for key in term.keys)
+    return False
+
+
+def unify_terms(left: Term, right: Term,
+                subst: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Most general unifier of two terms, or None.
+
+    The returned substitution extends ``subst`` (which is not mutated).
+    Quotes unify only when structurally identical; expressions unify
+    structurally (no arithmetic solving).
+    """
+    subst = dict(subst) if subst is not None else {}
+    if _unify(left, right, subst):
+        return subst
+    return None
+
+
+def _unify(left: Term, right: Term, subst: Substitution) -> bool:
+    left = walk(left, subst)
+    right = walk(right, subst)
+    if isinstance(left, Variable):
+        if isinstance(right, Variable) and right.name == left.name:
+            return True
+        if occurs(left.name, right, subst):
+            return False
+        subst[left.name] = right
+        return True
+    if isinstance(right, Variable):
+        return _unify(right, left, subst)
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        return left.value == right.value
+    if isinstance(left, Expr) and isinstance(right, Expr):
+        return (left.op == right.op
+                and _unify(left.left, right.left, subst)
+                and _unify(left.right, right.right, subst))
+    if isinstance(left, PartitionTerm) and isinstance(right, PartitionTerm):
+        if left.pred != right.pred or len(left.keys) != len(right.keys):
+            return False
+        return all(_unify(a, b, subst) for a, b in zip(left.keys, right.keys))
+    if isinstance(left, Quote) and isinstance(right, Quote):
+        return left.pattern == right.pattern
+    return False
+
+
+def unify_atoms(left: Atom, right: Atom,
+                subst: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Unify two atoms (same predicate, same shape)."""
+    if left.pred != right.pred or left.arity != right.arity \
+            or len(left.keys) != len(right.keys):
+        return None
+    subst = dict(subst) if subst is not None else {}
+    for a, b in zip(left.all_args, right.all_args):
+        if not _unify(a, b, subst):
+            return None
+    return subst
+
+
+def apply_subst(term: Term, subst: Substitution) -> Term:
+    """Apply a substitution through a term."""
+    term = walk(term, subst)
+    if isinstance(term, Expr):
+        return Expr(term.op, apply_subst(term.left, subst),
+                    apply_subst(term.right, subst))
+    if isinstance(term, PartitionTerm):
+        return PartitionTerm(term.pred,
+                             tuple(apply_subst(k, subst) for k in term.keys))
+    return term
+
+
+def apply_subst_atom(atom: Atom, subst: Substitution) -> Atom:
+    return Atom(
+        atom.pred,
+        tuple(apply_subst(t, subst) for t in atom.args),
+        tuple(apply_subst(t, subst) for t in atom.keys),
+    )

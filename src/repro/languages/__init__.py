@@ -1,0 +1,7 @@
+"""Trust-management language front-ends: Binder, SeNDlog, D1LP."""
+
+from .binder import BinderContext, install_pull, parse_binder
+from .sendlog import install_sendlog, parse_sendlog
+
+__all__ = ["BinderContext", "install_pull", "parse_binder",
+           "install_sendlog", "parse_sendlog"]

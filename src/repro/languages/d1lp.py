@@ -1,0 +1,102 @@
+"""D1LP-style delegation statements on LBTrust (paper sections 2.2, 4.2).
+
+Delegation Logic (Li, Grosof, Feigenbaum — the paper's reference [15])
+contributes *restricted delegation* — depth-bounded, width-bounded — and
+*threshold structures*.  The paper shows each construct is expressible in
+LBTrust; this module packages that mapping as a tiny statement language so
+policies read like D1LP:
+
+    delegate permission to accessMgr depth 1.
+    delegate creditOK to bureaus width alice, bob, carol.
+    threshold 3 of creditBureau on creditOK.
+    weighted threshold 2.5 of creditBureau on creditOK.
+
+Each statement expands to the corresponding core installers
+(:mod:`repro.core.delegation`) plus the delegates/delDepth/delWidth facts.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+from ..datalog.errors import ParseError
+from ..core.delegation import (
+    install_threshold,
+    install_weighted_threshold,
+)
+
+_DELEGATE = re.compile(
+    r"^delegate\s+(?P<pred>\w+)\s+to\s+(?P<to>\w+)"
+    r"(?:\s+depth\s+(?P<depth>\d+))?"
+    r"(?:\s+width\s+(?P<width>[\w,\s]+?))?\s*$"
+)
+_THRESHOLD = re.compile(
+    r"^(?P<weighted>weighted\s+)?threshold\s+(?P<k>[\d.]+)\s+of\s+"
+    r"(?P<group>\w+)\s+on\s+(?P<pred>\w+)\s*$"
+)
+
+
+def run_statement(principal, statement: str) -> None:
+    """Execute one D1LP-style statement in a principal's context."""
+    text = statement.strip().rstrip(".")
+    if not text:
+        return
+    match = _DELEGATE.match(text)
+    if match:
+        _run_delegate(principal, match)
+        return
+    match = _THRESHOLD.match(text)
+    if match:
+        _run_threshold(principal, match)
+        return
+    raise ParseError(f"unrecognized D1LP statement: {statement!r}")
+
+
+def run_policy(principal, source: str) -> None:
+    """Execute a newline/period-separated D1LP policy."""
+    for piece in source.split("."):
+        if piece.strip():
+            run_statement(principal, piece)
+
+
+def _run_delegate(principal, match: re.Match) -> None:
+    pred = match.group("pred")
+    to = match.group("to")
+    depth = match.group("depth")
+    width = match.group("width")
+    if width:
+        # The width set must be in place before the delegates fact, or the
+        # dwc constraint rejects the delegation it is meant to scope.
+        from ..core.delegation import install_width_restriction
+        workspace = principal.workspace
+        install_width_restriction(workspace)   # idempotent
+        members = [name.strip() for name in width.split(",") if name.strip()]
+        with workspace.transaction():
+            workspace.assert_fact("delWidthOn", (principal.name, pred))
+            for member in members:
+                workspace.assert_fact("delWidth", (principal.name, member, pred))
+    principal.delegate(to, pred,
+                       depth=int(depth) if depth is not None else None)
+
+
+def _run_threshold(principal, match: re.Match) -> None:
+    """Install a threshold over the receipt channel.
+
+    In a full system ``says1`` activates whatever is said, so counting
+    must gate a *different* predicate than the one group members say:
+    members say ``pred`` facts, and the threshold derives ``predOK`` from
+    the receipt log once k members concur (see
+    :func:`repro.core.delegation.install_threshold`).
+    """
+    k: Union[int, float]
+    raw_k = match.group("k")
+    k = float(raw_k) if "." in raw_k else int(raw_k)
+    group = match.group("group")
+    pred = match.group("pred")
+    if match.group("weighted"):
+        install_weighted_threshold(principal.workspace, pred, group, k,
+                                   channel="heard")
+    else:
+        install_threshold(principal.workspace, pred, group, int(k),
+                          channel="heard")

@@ -1,0 +1,224 @@
+"""SeNDlog — Secure Network Datalog on LBTrust (paper section 5.2).
+
+SeNDlog unifies Binder with Network Datalog: rules run *at* a context,
+import with ``N says p(...)`` and export with ``p(...)@X`` heads::
+
+    At S:
+    s1: reachable(S,D) :- neighbor(S,D).
+    s2: reachable(Z,D)@Z :- neighbor(S,Z), W says reachable(S,D).
+
+Compilation follows the paper's ls1/ls2 translation exactly:
+
+* the block's context variable (``S``) becomes ``me``;
+* an ``@Z`` head becomes ``says(me,Z,[| p(args). |])`` — export;
+* ``W says p(args)`` becomes a ``says(W,me,[| p(args). |])`` pattern join
+  — authenticated import (the scheme the system is configured with).
+
+Placement (ld1/ld2) is installed by the System; modifying the ``loc``
+table redistributes principals over physical nodes without touching any
+protocol rule — location transparency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..datalog.errors import ParseError
+from ..datalog.lexer import Token, tokenize
+from ..datalog.terms import (
+    ME,
+    Atom,
+    Constant,
+    Literal,
+    Quote,
+    Rule,
+    Statement,
+    Term,
+    Variable,
+)
+from .binder import BinderParser, _says_import
+
+
+@dataclass
+class SendlogBlock:
+    """One ``At X:`` block: the context term and its rules."""
+
+    context: Union[str, Variable]
+    statements: list = field(default_factory=list)
+
+    @property
+    def is_generic(self) -> bool:
+        """True when the context is a variable (installed at *every*
+        principal, each reading it as itself)."""
+        return isinstance(self.context, Variable)
+
+
+class _SendlogParser(BinderParser):
+    """Binder syntax plus ``@dest`` head annotations."""
+
+    def parse_head_atom(self):
+        atom = self.parse_atom()
+        dest = None
+        if self.at("@"):
+            self.advance()
+            token = self.advance()
+            if token.kind == "IDENT":
+                dest = Constant(token.text)
+            elif token.kind == "VAR":
+                dest = Variable(token.text)
+            elif token.kind == "KEYWORD" and token.text == "me":
+                dest = Constant(ME)
+            else:
+                raise ParseError("expected a destination after '@'",
+                                 token.line, token.column)
+        return atom, dest
+
+
+def parse_sendlog(source: str) -> list[SendlogBlock]:
+    """Split a SeNDlog program into ``At`` blocks of compiled statements."""
+    tokens = tokenize(source)
+    blocks: list[SendlogBlock] = []
+    index = 0
+
+    def at_block_header(i: int) -> bool:
+        return (tokens[i].kind in ("IDENT", "VAR") and tokens[i].text == "At"
+                and tokens[i + 1].kind in ("IDENT", "VAR")
+                and tokens[i + 2].kind == "PUNCT" and tokens[i + 2].text == ":")
+
+    while tokens[index].kind != "EOF":
+        if not at_block_header(index):
+            raise ParseError("SeNDlog programs start blocks with 'At X:'",
+                             tokens[index].line, tokens[index].column)
+        context_token = tokens[index + 1]
+        context: Union[str, Variable]
+        if context_token.kind == "VAR":
+            context = Variable(context_token.text)
+        else:
+            context = context_token.text
+        index += 3
+        # collect tokens until the next block header / EOF
+        body: list[Token] = []
+        while tokens[index].kind != "EOF" and not at_block_header(index):
+            body.append(tokens[index])
+            index += 1
+        eof = tokens[index]
+        block_tokens = body + [Token("EOF", "", eof.line, eof.column, False)]
+        block = SendlogBlock(context)
+        block.statements = _parse_block(block_tokens, context)
+        blocks.append(block)
+    return blocks
+
+
+def _parse_block(tokens: list[Token], context) -> list[Statement]:
+    from .binder import _arrow
+
+    parser = _SendlogParser([_arrow(t) for t in tokens])
+    statements: list[Statement] = []
+    while parser.peek().kind != "EOF":
+        label = parser._try_label()
+        heads = [parser.parse_head_atom()]
+        while parser.at(","):
+            parser.advance()
+            heads.append(parser.parse_head_atom())
+        body_formula = None
+        if parser.at("<-"):
+            parser.advance()
+            body_formula = parser.parse_formula()
+        parser.expect(".")
+        statements.extend(_compile_rule(heads, body_formula, label, context))
+    return statements
+
+
+def _compile_rule(heads, body_formula, label, context) -> list[Rule]:
+    from ..datalog.logic import dnf_body
+
+    substitution = None
+    if isinstance(context, Variable):
+        substitution = context.name
+
+    def localize_term(term: Term) -> Term:
+        if substitution and isinstance(term, Variable) and term.name == substitution:
+            return Constant(ME)
+        if isinstance(term, Quote):
+            from ..datalog.terms import AtomPattern, RulePattern, Star
+
+            def localize_pattern(pattern: RulePattern) -> RulePattern:
+                new_heads = []
+                for head in pattern.heads:
+                    args = head.args
+                    if args is not None:
+                        args = tuple(
+                            a if isinstance(a, Star) else localize_term(a)
+                            for a in args
+                        )
+                    new_heads.append(AtomPattern(head.functor, args, head.negated))
+                return RulePattern(tuple(new_heads), pattern.body,
+                                   pattern.has_arrow)
+
+            return Quote(localize_pattern(term.pattern))
+        return term
+
+    def localize_atom(atom: Atom) -> Atom:
+        return Atom(atom.pred,
+                    tuple(localize_term(t) for t in atom.args),
+                    tuple(localize_term(t) for t in atom.keys))
+
+    rules = []
+    for alternative in dnf_body(body_formula):
+        body_items = []
+        for item in alternative:
+            if isinstance(item, Literal):
+                body_items.append(Literal(localize_atom(item.atom), item.negated))
+            else:
+                item_type = type(item)
+                if hasattr(item, "left"):
+                    body_items.append(item_type(item.op,
+                                                localize_term(item.left),
+                                                localize_term(item.right)))
+                else:
+                    body_items.append(item_type(
+                        item.name, tuple(localize_term(t) for t in item.args)))
+        head_atoms = []
+        for atom, dest in heads:
+            atom = localize_atom(atom)
+            if dest is None:
+                head_atoms.append(atom)
+            else:
+                # p(args)@Z  →  says(me, Z, [| p(args). |])   (paper ls2)
+                from ..datalog.terms import AtomPattern, RulePattern
+
+                pattern = RulePattern(
+                    heads=(AtomPattern(atom.pred, tuple(atom.all_args)),),
+                    body=(), has_arrow=False,
+                )
+                head_atoms.append(Atom("says", (
+                    Constant(ME), localize_term(dest), Quote(pattern))))
+        rules.append(Rule(tuple(head_atoms), tuple(body_items), None, label))
+    return rules
+
+
+def install_sendlog(system_or_principals, source: str) -> None:
+    """Install a SeNDlog program.
+
+    Generic blocks (``At S:`` with a variable) load into every principal;
+    named blocks (``At alice:``) load into that principal only.
+    """
+    principals = getattr(system_or_principals, "principals", None)
+    if principals is not None:
+        principal_map = dict(principals)
+    else:
+        principal_map = {p.name: p for p in system_or_principals}
+    for block in parse_sendlog(source):
+        if block.is_generic:
+            targets = list(principal_map.values())
+        else:
+            name = block.context
+            if name not in principal_map:
+                raise ParseError(f"unknown SeNDlog context {name!r}")
+            targets = [principal_map[name]]
+        for principal in targets:
+            workspace = principal.workspace
+            with workspace.transaction():
+                for statement in block.statements:
+                    workspace._install(statement)

@@ -1,0 +1,5 @@
+"""Meta-programming: rule interning, Figure 1 reification, quote compiler."""
+
+from .registry import RuleRegistry
+
+__all__ = ["RuleRegistry"]

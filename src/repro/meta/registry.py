@@ -1,0 +1,412 @@
+"""Rule interning and reification: the bridge between rules and data.
+
+The :class:`RuleRegistry` is shared by every workspace of an LBTrust
+system (the paper's demonstration likewise runs all principals inside one
+LogicBlox instance).  It provides:
+
+* **interning** — structurally identical rules (up to variable renaming)
+  map to the same :class:`repro.datalog.terms.RuleRef`; the canonical text
+  is what authentication schemes sign, so certificates are independent of
+  variable naming;
+* **reification** — the meta-model facts (Figure 1) describing a rule,
+  computed once per rule and injected into any workspace that encounters
+  the ref;
+* **template instantiation** — code generation: a head-position quote plus
+  bindings becomes a new interned rule (paper section 3.3: "if the
+  evaluation of a rule puts new facts into the meta-model, then those new
+  facts turn into a new rule which must itself be evaluated").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ..datalog.errors import ReproError, SafetyError
+from ..datalog.pretty import canonical_rule, format_rule
+from ..datalog.terms import (
+    Atom,
+    AtomPattern,
+    BuiltinCall,
+    Comparison,
+    Constant,
+    EqPattern,
+    Expr,
+    Literal,
+    MeToken,
+    PartitionTerm,
+    PatternValue,
+    Quote,
+    Rule,
+    RulePattern,
+    RuleRef,
+    Star,
+    StarLits,
+    Term,
+    Variable,
+)
+
+MetaFact = tuple  # (pred_name, fact_tuple)
+
+
+@dataclass
+class InternedRule:
+    """Registry bookkeeping for one interned rule."""
+
+    ref: RuleRef
+    rule: Rule
+    canonical: str
+    meta_facts: list = field(default_factory=list)
+
+
+class RuleRegistry:
+    """Interns rules and produces their meta-model reification."""
+
+    def __init__(self) -> None:
+        self._by_canonical: dict[str, InternedRule] = {}
+        self._by_ref: dict[RuleRef, InternedRule] = {}
+        self._next_id = 1
+
+    # -- interning ----------------------------------------------------------
+
+    def intern(self, rule: Rule) -> RuleRef:
+        """Intern a rule; structurally equal rules share one ref.
+
+        The rule must be ``me``-free: principals resolve ``me`` before any
+        rule becomes data (otherwise a rule's meaning would change as it
+        crossed contexts).
+        """
+        _reject_me(rule)
+        canonical = canonical_rule(rule)
+        entry = self._by_canonical.get(canonical)
+        if entry is None:
+            ref = RuleRef(self._next_id)
+            self._next_id += 1
+            entry = InternedRule(ref, rule, canonical)
+            entry.meta_facts = _reify(ref, rule)
+            self._by_canonical[canonical] = entry
+            self._by_ref[ref] = entry
+        return entry.ref
+
+    def rule_of(self, ref: RuleRef) -> Rule:
+        return self._entry(ref).rule
+
+    def canonical_text(self, ref: RuleRef) -> str:
+        """The canonical bytes-source for signing and wire transfer."""
+        return self._entry(ref).canonical
+
+    def meta_facts(self, ref: RuleRef) -> list[MetaFact]:
+        return self._entry(ref).meta_facts
+
+    def refs_in_value(self, value) -> Iterable[RuleRef]:
+        """Every RuleRef reachable inside a ground value (tuples nest)."""
+        if isinstance(value, RuleRef):
+            yield value
+        elif isinstance(value, tuple):
+            for element in value:
+                yield from self.refs_in_value(element)
+
+    def known(self, ref: RuleRef) -> bool:
+        return ref in self._by_ref
+
+    def __len__(self) -> int:
+        return len(self._by_ref)
+
+    def _entry(self, ref: RuleRef) -> InternedRule:
+        entry = self._by_ref.get(ref)
+        if entry is None:
+            raise ReproError(f"unknown rule reference {ref!r}")
+        return entry
+
+    # -- template instantiation (code generation) ------------------------------
+
+    def instantiate_template(self, quote: Quote, bindings: dict,
+                             eval_term: Callable[[Term, dict], object]) -> RuleRef:
+        """Turn a head-position quote into a concrete rule and intern it.
+
+        Bound variables are substituted with their values (becoming
+        constants); unbound variables remain variables of the generated
+        rule.  Nested ``V = [| … |]`` patterns survive substitution as
+        patterns — they compile when the generated rule is activated.
+        """
+        rule = instantiate_pattern(quote.pattern, bindings, eval_term)
+        return self.intern(rule)
+
+
+# ---------------------------------------------------------------------------
+# me-freedom check
+# ---------------------------------------------------------------------------
+
+def _reject_me(rule: Rule) -> None:
+    for head in rule.heads:
+        for term in head.all_args:
+            _reject_me_term(term)
+    for item in rule.body:
+        if isinstance(item, Literal):
+            for term in item.atom.all_args:
+                _reject_me_term(term)
+        elif isinstance(item, Comparison):
+            _reject_me_term(item.left)
+            _reject_me_term(item.right)
+        elif isinstance(item, BuiltinCall):
+            for term in item.args:
+                _reject_me_term(term)
+
+
+def _reject_me_term(term: Term) -> None:
+    if isinstance(term, Constant) and isinstance(term.value, MeToken):
+        raise SafetyError(
+            "cannot intern a rule still containing 'me'; resolve the local "
+            "principal first (Workspace does this on load)"
+        )
+    if isinstance(term, Expr):
+        _reject_me_term(term.left)
+        _reject_me_term(term.right)
+    elif isinstance(term, PartitionTerm):
+        for key in term.keys:
+            _reject_me_term(key)
+    elif isinstance(term, Quote):
+        _reject_me_pattern(term.pattern)
+
+
+def _reject_me_pattern(pattern: RulePattern) -> None:
+    for atom_pattern in pattern.heads:
+        _reject_me_atom_pattern(atom_pattern)
+    for lit in pattern.body:
+        if isinstance(lit, AtomPattern):
+            _reject_me_atom_pattern(lit)
+        elif isinstance(lit, EqPattern):
+            _reject_me_pattern(lit.quote.pattern)
+
+
+def _reject_me_atom_pattern(atom_pattern: AtomPattern) -> None:
+    for arg in atom_pattern.args or ():
+        if isinstance(arg, Term):
+            _reject_me_term(arg)
+
+
+# ---------------------------------------------------------------------------
+# Reification (rule -> Figure 1 facts)
+# ---------------------------------------------------------------------------
+
+def _reify(ref: RuleRef, rule: Rule) -> list[MetaFact]:
+    """Compute the meta-model facts describing one rule."""
+    facts: list[MetaFact] = [("rule", (ref,))]
+    counter = {"atom": 0, "term": 0}
+    preds_seen: set[str] = set()
+
+    def fresh_atom_id() -> str:
+        counter["atom"] += 1
+        return f"$a{ref.rid}_{counter['atom']}"
+
+    def fresh_term_id() -> str:
+        counter["term"] += 1
+        return f"$t{ref.rid}_{counter['term']}"
+
+    def collect_pattern_preds(pattern: RulePattern) -> None:
+        # Concrete functors inside quoted patterns are part of the rule's
+        # vocabulary: a context whose rules mention `permitted` in a
+        # template defines that predicate as far as `predicate(P)` type
+        # constraints are concerned.
+        for atom_pattern in pattern.heads:
+            if isinstance(atom_pattern.functor, str):
+                preds_seen.add(atom_pattern.functor)
+        for lit in pattern.body:
+            if isinstance(lit, AtomPattern) and isinstance(lit.functor, str):
+                preds_seen.add(lit.functor)
+            elif isinstance(lit, EqPattern):
+                collect_pattern_preds(lit.quote.pattern)
+
+    def reify_atom(atom: Atom, role: str, negated: bool) -> None:
+        atom_id = fresh_atom_id()
+        facts.append((role, (ref, atom_id)))
+        facts.append(("atom", (atom_id,)))
+        facts.append(("functor", (atom_id, atom.pred)))
+        preds_seen.add(atom.pred)
+        if negated:
+            facts.append(("negated", (atom_id,)))
+        all_args = atom.all_args
+        facts.append(("arity", (atom_id, len(all_args))))
+        for index, term in enumerate(all_args):
+            term_id = fresh_term_id()
+            facts.append(("arg", (atom_id, index, term_id)))
+            facts.append(("term", (term_id,)))
+            if isinstance(term, Variable):
+                facts.append(("variable", (term_id,)))
+                facts.append(("vname", (term_id, term.name)))
+            elif isinstance(term, Constant):
+                facts.append(("constant", (term_id,)))
+                facts.append(("value", (term_id, term.value)))
+            elif isinstance(term, Quote):
+                # A quoted pattern is a *code constant*: pull0-style
+                # meta-rules bind it through `value` and ship it as a
+                # request.  `constant` keeps Figure 1's value(C,V) ->
+                # constant(C) declaration satisfied.
+                facts.append(("quoteterm", (term_id,)))
+                facts.append(("constant", (term_id,)))
+                facts.append(("value", (term_id, PatternValue(term.pattern))))
+                collect_pattern_preds(term.pattern)
+            # Expr / PartitionTerm args stay opaque: term(T) only.
+
+    for head in rule.heads:
+        reify_atom(head, "head", negated=False)
+    for item in rule.body:
+        if isinstance(item, Literal):
+            reify_atom(item.atom, "body", item.negated)
+        # Comparisons and builtin calls are not part of the Figure 1 model;
+        # they are invisible to reflection (the paper's patterns only match
+        # relational atoms).
+    if rule.is_fact():
+        facts.append(("factrule", (ref,)))
+    for pred in sorted(preds_seen):
+        facts.append(("predicate", (pred,)))
+        facts.append(("pname", (pred, pred)))
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# Template instantiation
+# ---------------------------------------------------------------------------
+
+def is_open_fact_pattern(pattern: RulePattern) -> bool:
+    """True for a bodyless pattern that still has pattern-ness left.
+
+    Such a quote cannot (and should not) become a concrete rule: a fact
+    template with free variables, a star, or a meta-variable functor is a
+    *pattern value* — e.g. the payload of a pull request, or the paper's
+    section 9 delegation of ``[| permission(me,_,F,_). |]``.
+    """
+    if pattern.has_arrow or pattern.body:
+        return False
+    for atom_pattern in pattern.heads:
+        if isinstance(atom_pattern.functor, Variable):
+            return True
+        for arg in atom_pattern.args or ():
+            if isinstance(arg, Star):
+                return True
+            if isinstance(arg, Term) and any(True for _ in arg.variables()):
+                return True
+    return False
+
+
+def instantiate_pattern(pattern: RulePattern, bindings: dict,
+                        eval_term: Callable[[Term, dict], object]) -> Rule:
+    """Substitute ``bindings`` into a quoted template, yielding a rule."""
+    heads = tuple(
+        _instantiate_atom(atom_pattern, bindings, eval_term)
+        for atom_pattern in pattern.heads
+    )
+    body: list = []
+    for lit in pattern.body:
+        if isinstance(lit, AtomPattern):
+            atom = _instantiate_atom(lit, bindings, eval_term)
+            body.append(Literal(atom, lit.negated))
+        elif isinstance(lit, EqPattern):
+            quote = Quote(_substitute_pattern(lit.quote.pattern, bindings, eval_term))
+            left: Term = Variable(lit.var.name)
+            if lit.var.name in bindings:
+                left = Constant(bindings[lit.var.name])
+            body.append(Comparison("=", left, quote))
+        elif isinstance(lit, StarLits):
+            raise SafetyError(
+                "a Kleene star over body literals cannot appear in a "
+                "generated rule template"
+            )
+    return Rule(heads, tuple(body), None, None)
+
+
+def _instantiate_atom(atom_pattern: AtomPattern, bindings: dict,
+                      eval_term: Callable[[Term, dict], object]) -> Atom:
+    functor = atom_pattern.functor
+    if isinstance(functor, Variable):
+        if functor.name not in bindings:
+            raise SafetyError(
+                f"template functor {functor.name} is unbound; cannot "
+                f"generate a rule with an unknown predicate"
+            )
+        functor_value = bindings[functor.name]
+        if not isinstance(functor_value, str):
+            raise SafetyError(
+                f"template functor {functor.name} bound to non-predicate "
+                f"value {functor_value!r}"
+            )
+        functor = functor_value
+    if atom_pattern.args is None:
+        raise SafetyError(
+            f"bare meta-variable atom {atom_pattern!r} cannot appear in a "
+            f"generated rule template"
+        )
+    args = []
+    for arg in atom_pattern.args:
+        if isinstance(arg, Star):
+            raise SafetyError(
+                "a Kleene star argument cannot appear in a generated rule "
+                "template"
+            )
+        args.append(_instantiate_term(arg, bindings, eval_term))
+    return Atom(functor, tuple(args))
+
+
+def _instantiate_term(term: Term, bindings: dict,
+                      eval_term: Callable[[Term, dict], object]) -> Term:
+    if isinstance(term, Variable):
+        if term.name in bindings:
+            return Constant(bindings[term.name])
+        return term
+    if isinstance(term, Constant):
+        return term
+    if isinstance(term, Expr):
+        names = {v.name for v in term.variables()}
+        if names <= set(bindings):
+            return Constant(eval_term(term, bindings))
+        return Expr(term.op,
+                    _instantiate_term(term.left, bindings, eval_term),
+                    _instantiate_term(term.right, bindings, eval_term))
+    if isinstance(term, Quote):
+        return Quote(_substitute_pattern(term.pattern, bindings, eval_term))
+    if isinstance(term, PartitionTerm):
+        return PartitionTerm(
+            term.pred,
+            tuple(_instantiate_term(k, bindings, eval_term) for k in term.keys),
+        )
+    raise SafetyError(f"cannot instantiate template term {term!r}")
+
+
+def _substitute_pattern(pattern: RulePattern, bindings: dict,
+                        eval_term: Callable[[Term, dict], object]) -> RulePattern:
+    """Apply bindings inside a nested pattern, keeping stars and metavars."""
+
+    def sub_atom(atom_pattern: AtomPattern) -> AtomPattern:
+        functor = atom_pattern.functor
+        if isinstance(functor, Variable) and functor.name in bindings:
+            value = bindings[functor.name]
+            if not isinstance(value, str):
+                raise SafetyError(
+                    f"pattern functor {functor.name} bound to non-predicate "
+                    f"value {value!r}"
+                )
+            functor = value
+        args = None
+        if atom_pattern.args is not None:
+            new_args = []
+            for arg in atom_pattern.args:
+                if isinstance(arg, Star):
+                    new_args.append(arg)
+                else:
+                    new_args.append(_instantiate_term(arg, bindings, eval_term))
+            args = tuple(new_args)
+        return AtomPattern(functor, args, atom_pattern.negated)
+
+    heads = tuple(sub_atom(h) for h in pattern.heads)
+    body: list = []
+    for lit in pattern.body:
+        if isinstance(lit, AtomPattern):
+            body.append(sub_atom(lit))
+        elif isinstance(lit, EqPattern):
+            body.append(EqPattern(
+                lit.var,
+                Quote(_substitute_pattern(lit.quote.pattern, bindings, eval_term)),
+            ))
+        else:
+            body.append(lit)
+    return RulePattern(heads, tuple(body), pattern.has_arrow)

@@ -1,0 +1,5 @@
+"""Simulated network substrate: nodes, FIFO links, virtual clock, stats."""
+
+from .network import LinkStats, SimulatedNetwork
+
+__all__ = ["LinkStats", "SimulatedNetwork"]

@@ -1,0 +1,6 @@
+"""The workspace: a LogicBlox-style database instance with active rules."""
+
+from .catalog import Catalog, PredInfo
+from .workspace import AuditEvent, Workspace
+
+__all__ = ["AuditEvent", "Catalog", "PredInfo", "Workspace"]

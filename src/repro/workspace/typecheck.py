@@ -1,0 +1,93 @@
+"""Static type checking from type-declaration constraints.
+
+Paper section 3.2: *"The use of types and type-checking (statically, and
+dynamically when rules are added to workspaces) ensures that only
+type-safe LogicBlox programs are executed."*  The *dynamic* half is the
+constraint checker.  This module is the *static* half: it infers, for
+every variable of a rule, the set of declared types implied by the
+positions the variable occupies, and reports variables pinned to two
+different concrete types.
+
+Primitive types (``int``, ``string``, …) are compatible with themselves
+only; user types (unary predicates like ``principal``) are nominal — two
+different user types on one variable are reported, since nothing declares
+a subtyping relation.  Findings are warnings by design: the dynamic
+constraints remain authoritative, matching LogicBlox's layering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..datalog.terms import Literal, Rule, Variable
+from .catalog import PRIMITIVE_TYPES, Catalog
+
+
+@dataclass(frozen=True)
+class TypeIssue:
+    """One static finding: a variable used at incompatibly-typed positions."""
+
+    rule_label: str
+    variable: str
+    types: tuple
+
+    def __str__(self) -> str:
+        return (f"rule {self.rule_label}: variable {self.variable} is used "
+                f"at positions typed {', '.join(self.types)}")
+
+
+_COMPATIBLE = {
+    frozenset({"int", "number"}),
+    frozenset({"float", "number"}),
+}
+
+
+def _compatible(a: str, b: str) -> bool:
+    if a == b or "any" in (a, b):
+        return True
+    return frozenset({a, b}) in _COMPATIBLE
+
+
+def typecheck_rule(rule: Rule, catalog: Catalog) -> list[TypeIssue]:
+    """Static issues for one rule against the catalog's declarations."""
+    var_types: dict[str, set] = {}
+
+    def observe(atom) -> None:
+        info = catalog.get(atom.pred)
+        if info is None or not info.declared:
+            return
+        for position, term in enumerate(atom.all_args):
+            if not isinstance(term, Variable):
+                continue
+            declared = info.arg_types[position] if position < len(info.arg_types) else None
+            if declared is None:
+                continue
+            var_types.setdefault(term.name, set()).add(declared)
+
+    for head in rule.heads:
+        observe(head)
+    for item in rule.body:
+        if isinstance(item, Literal):
+            observe(item.atom)
+
+    issues = []
+    label = rule.label or "<unlabeled>"
+    for name, types in sorted(var_types.items()):
+        concrete = sorted(types)
+        clash = any(
+            not _compatible(a, b)
+            for i, a in enumerate(concrete)
+            for b in concrete[i + 1:]
+        )
+        if clash:
+            issues.append(TypeIssue(label, name, tuple(concrete)))
+    return issues
+
+
+def typecheck_program(rules: Iterable[Rule], catalog: Catalog) -> list[TypeIssue]:
+    issues = []
+    for rule in rules:
+        if isinstance(rule, Rule):
+            issues.extend(typecheck_rule(rule, catalog))
+    return issues

@@ -1,0 +1,619 @@
+"""The workspace: a LogicBlox-style database instance with active rules.
+
+Paper section 3.1: *"A workspace in LogicBlox is essentially a database
+instance which contains a set of predicate definitions and a set of active
+rules (similar to continuous queries). … When predicate data is modified,
+the active rules are incrementally recomputed."*
+
+This class provides exactly that, plus the meta-programming loop of
+section 3.3:
+
+* facts are asserted/retracted transactionally; active rules are
+  maintained incrementally (semi-naive insertion deltas, DRed deletions,
+  selective stratum recompute for non-monotone strata);
+* every rule is interned in the shared :class:`RuleRegistry` and reflected
+  into the local meta-model relations (Figure 1);
+* after every fixpoint the ``active`` relation is scanned: newly derived
+  ``active(R)`` facts activate rule R — code generation — and the loop
+  continues until quiescence (bounded by ``max_activation_rounds``);
+* schema constraints and meta-constraints are checked at commit; a
+  violation rolls the whole transaction back and raises
+  :class:`ConstraintViolation`, leaving an audit record.
+
+``me`` appearing in loaded source resolves to the owning principal before
+interning, so rules-as-data are always context-independent.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Union
+
+from ..datalog.builtins import BuiltinRegistry, standard_registry
+from ..datalog.constraints import Violation, check_constraints
+from ..datalog.database import Database
+from ..datalog.engine import (
+    EngineRule,
+    EvalStats,
+    FactSet,
+    ProvenanceStore,
+    apply_rule,
+    normalize_rules,
+    propagate_insertions,
+)
+from ..datalog.errors import (
+    ActivationLimitError,
+    ConstraintViolation,
+    WorkspaceError,
+)
+from ..datalog.incremental import propagate_deletions
+from ..datalog.parser import parse_statements
+from ..datalog.runtime import EvalContext, eval_term, solve
+from ..datalog.stratify import stratify
+from ..datalog.terms import (
+    Atom,
+    Constant,
+    Constraint,
+    Literal,
+    Quote,
+    Rule,
+    RuleRef,
+    Statement,
+    Variable,
+)
+from ..meta.model import ACTIVE_PRED
+from ..meta.quote import compile_constraint, compile_rule
+from ..meta.registry import RuleRegistry
+from .catalog import Catalog
+
+
+@dataclass
+class AuditEvent:
+    """One security-relevant occurrence (kept across rollbacks)."""
+
+    kind: str
+    detail: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"AuditEvent({self.kind}, {self.detail})"
+
+
+@dataclass
+class _Snapshot:
+    db: Database
+    edb: dict
+    activated: dict
+    constraints: list
+    reified: set
+    catalog: dict
+
+
+class Workspace:
+    """One principal's context: predicates, active rules, constraints."""
+
+    def __init__(self, name: str, me: Optional[str] = None,
+                 registry: Optional[RuleRegistry] = None,
+                 builtins: Optional[BuiltinRegistry] = None,
+                 enable_provenance: bool = False,
+                 max_activation_rounds: int = 500) -> None:
+        self.name = name
+        self.me = me if me is not None else name
+        self.registry = registry if registry is not None else RuleRegistry()
+        self.builtins = builtins if builtins is not None else standard_registry().child()
+        self.db = Database()
+        self.edb: dict[str, set] = {}
+        self.catalog = Catalog()
+        self.constraints: list[Constraint] = []
+        self.audit: list[AuditEvent] = []
+        self.stats = EvalStats()
+        self.max_activation_rounds = max_activation_rounds
+        self.provenance: Optional[ProvenanceStore] = (
+            ProvenanceStore() if enable_provenance else None
+        )
+        self._activated: dict[RuleRef, list[EngineRule]] = {}
+        self._strata: Optional[list] = None
+        self._reified: set[RuleRef] = set()
+        self._pending_template_refs: list[RuleRef] = []
+        self._txn_depth = 0
+        self._txn_snapshot: Optional[_Snapshot] = None
+        self._txn_fresh: FactSet = {}
+        self._txn_deleted: FactSet = {}
+        self.context = EvalContext(
+            builtins=self.builtins,
+            instantiate_quote=self._instantiate_quote,
+            payload=self,
+        )
+
+    # ------------------------------------------------------------------
+    # Public API: loading programs
+    # ------------------------------------------------------------------
+
+    def load(self, source: str) -> None:
+        """Parse and install a program: facts, rules, constraints."""
+        statements = parse_statements(source)
+        with self.transaction():
+            for statement in statements:
+                self._install(statement)
+
+    def _install(self, statement: Statement) -> None:
+        if isinstance(statement, Constraint):
+            self.add_constraint(statement)
+        elif isinstance(statement, Rule):
+            if statement.is_fact():
+                for head in statement.heads:
+                    self.assert_atom(head)
+            else:
+                self.add_rule(statement)
+        else:  # pragma: no cover - parser yields only the two kinds
+            raise WorkspaceError(f"cannot install {statement!r}")
+
+    def add_rule(self, rule: Union[str, Rule]) -> RuleRef:
+        """Intern and activate a rule in this context."""
+        if isinstance(rule, str):
+            statements = parse_statements(rule)
+            refs = []
+            with self.transaction():
+                for statement in statements:
+                    if not isinstance(statement, Rule):
+                        raise WorkspaceError("add_rule expects rules only")
+                    refs.append(self.add_rule(statement))
+            return refs[-1]
+        from ..meta.quote import resolve_me_rule
+        resolved = resolve_me_rule(rule, self.me)
+        ref = self.registry.intern(resolved)
+        with self.transaction():
+            self._assert_edb(ACTIVE_PRED, (ref,))
+        return ref
+
+    def add_constraint(self, constraint: Union[str, Constraint]) -> None:
+        """Install a (meta-)constraint, checked on every commit."""
+        if isinstance(constraint, str):
+            statements = parse_statements(constraint)
+            with self.transaction():
+                for statement in statements:
+                    if not isinstance(statement, Constraint):
+                        raise WorkspaceError("add_constraint expects constraints")
+                    self.add_constraint(statement)
+            return
+        from ..datalog.pretty import canonical_constraint
+        compiled = compile_constraint(constraint, self.me, self.builtins)
+        with self.transaction():
+            self.catalog.observe_constraint(compiled)
+            key = (compiled.label, canonical_constraint(compiled))
+            duplicate = any(
+                (existing.label, canonical_constraint(existing)) == key
+                for existing in self.constraints
+            )
+            if not duplicate:
+                self.constraints.append(compiled)
+
+    # ------------------------------------------------------------------
+    # Public API: facts
+    # ------------------------------------------------------------------
+
+    def assert_fact(self, pred: str, fact: tuple) -> None:
+        self.assert_facts(pred, [fact])
+
+    def assert_facts(self, pred: str, facts: Iterable[tuple]) -> None:
+        with self.transaction():
+            for fact in facts:
+                self.catalog.check_fact_arity(pred, fact)
+                self._assert_edb(pred, tuple(fact))
+
+    def assert_atom(self, atom: Atom) -> None:
+        """Assert a ground fact given as an atom (quotes become rule refs)."""
+        resolved = compile_rule(Rule((atom,)), self.me, builtins=None).head
+        values = tuple(
+            eval_term(term, {}, self.context) for term in resolved.all_args
+        )
+        with self.transaction():
+            self.catalog.observe_atom(resolved)
+            self._assert_edb(resolved.pred, values)
+
+    def retract_fact(self, pred: str, fact: tuple) -> None:
+        self.retract_facts(pred, [fact])
+
+    def retract_facts(self, pred: str, facts: Iterable[tuple]) -> None:
+        with self.transaction():
+            for fact in facts:
+                fact = tuple(fact)
+                base = self.edb.get(pred)
+                if base is None or fact not in base:
+                    raise WorkspaceError(
+                        f"cannot retract {pred}{fact!r}: not an asserted fact"
+                    )
+                base.discard(fact)
+                self.db.discard(pred, fact)
+                self._txn_deleted.setdefault(pred, set()).add(fact)
+
+    def deactivate_rule(self, ref: RuleRef) -> None:
+        """Retract an API-activated rule (derived activations re-derive)."""
+        self.retract_fact(ACTIVE_PRED, (ref,))
+
+    def remove_constraints(self, label: str) -> int:
+        """Remove every installed constraint carrying ``label``."""
+        with self.transaction():
+            before = len(self.constraints)
+            self.constraints = [
+                c for c in self.constraints if c.label != label
+            ]
+            return before - len(self.constraints)
+
+    # ------------------------------------------------------------------
+    # Public API: queries
+    # ------------------------------------------------------------------
+
+    def tuples(self, pred: str) -> set:
+        return set(self.db.tuples(pred))
+
+    def query(self, source: str) -> list[dict]:
+        """Solve a body formula, e.g. ``"access(P,O,M), !revoked(P)"``.
+
+        Accepts anything a rule body accepts (negation, comparisons,
+        quotes, disjunction).  Returns a list of variable bindings,
+        anonymous variables omitted; duplicates are collapsed.
+        """
+        text = source.rstrip().rstrip(".")
+        statements = parse_statements(f"queryresult() <- {text}.")
+        results: list[dict] = []
+        seen: set = set()
+        for statement in statements:
+            if not isinstance(statement, Rule):  # pragma: no cover
+                raise WorkspaceError("query expects a body formula")
+            compiled = compile_rule(statement, self.me, self.builtins)
+            for bindings in solve(tuple(compiled.body), self.db, self.context):
+                row = {
+                    name: value for name, value in bindings.items()
+                    if not name.startswith("_")
+                }
+                key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+                if key not in seen:
+                    seen.add(key)
+                    results.append(row)
+        return results
+
+    def holds(self, source: str) -> bool:
+        return bool(self.query(source))
+
+    def active_refs(self) -> set:
+        return set(self._activated)
+
+    def rule_text(self, ref: RuleRef) -> str:
+        return self.registry.canonical_text(ref)
+
+    def typecheck(self) -> list:
+        """Static type issues for every active rule (section 3.2).
+
+        Returns :class:`repro.workspace.typecheck.TypeIssue` warnings;
+        the dynamic constraints remain authoritative.
+        """
+        from .typecheck import typecheck_program
+
+        rules = [
+            compile_rule(self.registry.rule_of(ref), principal=None,
+                         builtins=self.builtins)
+            for ref in self._activated
+        ]
+        return typecheck_program(rules, self.catalog)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self):
+        """Group mutations; fixpoint + constraint check happen at exit.
+
+        Nested transactions flatten into the outermost one.  On a
+        constraint violation (or any error) the workspace state rolls back
+        to the transaction start; the audit log keeps the rejection event.
+        """
+        if self._txn_depth == 0:
+            self._txn_snapshot = self._take_snapshot()
+            self._txn_fresh = {}
+            self._txn_deleted = {}
+        self._txn_depth += 1
+        try:
+            yield self
+        except Exception:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                self._rollback()
+            raise
+        else:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                try:
+                    self._commit()
+                except Exception:
+                    self._rollback()
+                    raise
+
+    def _take_snapshot(self) -> _Snapshot:
+        from dataclasses import replace
+        catalog_copy = {
+            name: replace(info, arg_types=list(info.arg_types))
+            for name, info in self.catalog._preds.items()
+        }
+        return _Snapshot(
+            db=self.db.snapshot(),
+            edb={pred: set(facts) for pred, facts in self.edb.items()},
+            activated=dict(self._activated),
+            constraints=list(self.constraints),
+            reified=set(self._reified),
+            catalog=catalog_copy,
+        )
+
+    def _rollback(self) -> None:
+        snapshot = self._txn_snapshot
+        if snapshot is None:  # pragma: no cover - defensive
+            return
+        self.db = snapshot.db
+        self.edb = snapshot.edb
+        self._activated = snapshot.activated
+        self.constraints = snapshot.constraints
+        self._reified = snapshot.reified
+        self.catalog._preds = snapshot.catalog
+        self._strata = None
+        self._pending_template_refs = []
+        self._txn_snapshot = None
+        self._txn_fresh = {}
+        self._txn_deleted = {}
+
+    def _commit(self) -> None:
+        deleted = self._txn_deleted
+        self._txn_deleted = {}
+        if deleted:
+            self._handle_deletions(deleted)
+        self._run_loop()
+        violations = check_constraints(self.constraints, self.db, self.context)
+        if violations:
+            violation = violations[0]
+            self.audit.append(AuditEvent("constraint_violation", {
+                "workspace": self.name,
+                "constraint": repr(violation.constraint),
+                "bindings": dict(violation.bindings),
+                "total": len(violations),
+            }))
+            raise ConstraintViolation(violation.constraint, violation.bindings)
+        self._txn_snapshot = None
+
+    # ------------------------------------------------------------------
+    # Internals: assertion, reification, activation
+    # ------------------------------------------------------------------
+
+    def _assert_edb(self, pred: str, fact: tuple) -> bool:
+        if self._txn_snapshot is None:
+            raise WorkspaceError("EDB mutation outside a transaction")
+        base = self.edb.setdefault(pred, set())
+        if fact in base:
+            return False
+        base.add(fact)
+        if self.db.add(pred, fact):
+            self._txn_fresh.setdefault(pred, set()).add(fact)
+            if self.provenance is not None:
+                self.provenance.record_edb(pred, fact)
+        for value in fact:
+            for ref in self.registry.refs_in_value(value):
+                self._ensure_reified(ref)
+        return True
+
+    def _ensure_reified(self, ref: RuleRef) -> None:
+        if ref in self._reified:
+            return
+        self._reified.add(ref)
+        for pred, fact in self.registry.meta_facts(ref):
+            self._assert_edb(pred, fact)
+
+    def _instantiate_quote(self, quote: Quote, bindings: dict):
+        from ..datalog.terms import PatternValue
+        from ..meta.registry import _substitute_pattern, is_open_fact_pattern
+
+        def eval_with_context(term, local_bindings):
+            return eval_term(term, local_bindings, self.context)
+
+        substituted = _substitute_pattern(quote.pattern, bindings,
+                                          eval_with_context)
+        if is_open_fact_pattern(substituted):
+            # Still a pattern after substitution: yield it as a value
+            # (pull requests, delegated permission patterns) rather than
+            # generating a non-ground rule.
+            return PatternValue(substituted)
+        ref = self.registry.instantiate_template(quote, bindings, eval_with_context)
+        self._pending_template_refs.append(ref)
+        return ref
+
+    def _edb_facts(self, pred: str) -> set:
+        return self.edb.get(pred, set())
+
+    def _compile_ref(self, ref: RuleRef) -> list[EngineRule]:
+        from ..datalog.runtime import check_rule_safety
+
+        rule = self.registry.rule_of(ref)
+        compiled = compile_rule(rule, principal=None, builtins=self.builtins)
+        check_rule_safety(compiled, self.builtins)
+        self.catalog.observe_rule(compiled)
+        engine_rules = normalize_rules([compiled])
+        label = compiled.label or f"r{ref.rid}"
+        for engine_rule in engine_rules:
+            engine_rule.label = label
+        return engine_rules
+
+    def _all_engine_rules(self) -> list[EngineRule]:
+        rules: list[EngineRule] = []
+        for engine_rules in self._activated.values():
+            rules.extend(engine_rules)
+        return rules
+
+    def _volatile_rules(self) -> list[EngineRule]:
+        from ..datalog.terms import BuiltinCall as _BuiltinCall
+
+        volatile: list[EngineRule] = []
+        for engine_rule in self._all_engine_rules():
+            for item in engine_rule.body:
+                if isinstance(item, _BuiltinCall):
+                    definition = self.builtins.lookup(item.name)
+                    if definition is not None and definition.volatile:
+                        volatile.append(engine_rule)
+                        break
+        return volatile
+
+    def _current_strata(self) -> list:
+        if self._strata is None:
+            self._strata = stratify(self._all_engine_rules())
+        return self._strata
+
+    def _sync_predicate_facts(self) -> None:
+        """Mirror catalog-defined predicates into the meta-model.
+
+        Paper section 3.3: ``predicate`` "contains a unique entry for each
+        predicate defined in the workspace (including predicate)".
+        Reification covers predicates appearing in interned rules; this
+        covers the ones only declarations or facts mention, plus the
+        populated meta relations themselves ("including predicate").
+        """
+        from ..meta.model import ALL_META_PREDS
+
+        names = set(self.catalog.names()) | {"predicate", "pname"}
+        for meta_pred in ALL_META_PREDS | {ACTIVE_PRED}:
+            relation = self.db.relations.get(meta_pred)
+            if relation is not None and len(relation):
+                names.add(meta_pred)
+        for name in sorted(names):
+            self._assert_edb("predicate", (name,))
+            self._assert_edb("pname", (name, name))
+
+    def _run_loop(self) -> None:
+        """The activation/propagation loop: run until quiescent."""
+        self._sync_predicate_facts()
+        fresh = self._txn_fresh
+        self._txn_fresh = {}
+        for _ in range(self.max_activation_rounds):
+            progressed = False
+
+            # 1. Activate rules newly present in `active`.
+            active_now: set[RuleRef] = set()
+            for fact in self.db.tuples(ACTIVE_PRED):
+                if fact and isinstance(fact[0], RuleRef):
+                    active_now.add(fact[0])
+            new_refs = [ref for ref in active_now if ref not in self._activated]
+            new_rules: list[EngineRule] = []
+            for ref in new_refs:
+                self._ensure_reified(ref)
+                engine_rules = self._compile_ref(ref)
+                self._activated[ref] = engine_rules
+                new_rules.extend(engine_rules)
+                progressed = True
+            if new_rules:
+                self._strata = None
+
+            # 2. Fully apply the new rules once; their results seed deltas.
+            for engine_rule in new_rules:
+                if engine_rule.agg is not None:
+                    continue  # aggregates are evaluated inside strata
+                derived = apply_rule(engine_rule, self.db, self.context,
+                                     provenance=self.provenance,
+                                     stats=self.stats)
+                for fact in derived:
+                    if self.db.add(engine_rule.head.pred, fact):
+                        fresh.setdefault(engine_rule.head.pred, set()).add(fact)
+            if new_rules and any(r.agg is not None for r in new_rules):
+                # Aggregate rules need their stratum machinery; easiest
+                # correct seed is a full propagation pass over their inputs.
+                for engine_rule in new_rules:
+                    if engine_rule.agg is None:
+                        continue
+                    for pred in engine_rule.body_preds():
+                        facts = self.db.tuples(pred)
+                        if facts:
+                            fresh.setdefault(pred, set()).update(facts)
+
+            # 3. Drain template-created rules (their meta facts are EDB).
+            pending = self._pending_template_refs
+            self._pending_template_refs = []
+            for ref in pending:
+                self._ensure_reified(ref)
+                progressed = True
+
+            # Meta facts asserted by reification land in _txn_fresh.
+            for pred, facts in self._txn_fresh.items():
+                fresh.setdefault(pred, set()).update(facts)
+            self._txn_fresh = {}
+
+            # 3b. Volatile-builtin rules (their dependencies are hidden
+            # from the delta machinery) re-run in full each round.
+            for engine_rule in self._volatile_rules():
+                derived = apply_rule(engine_rule, self.db, self.context,
+                                     provenance=self.provenance,
+                                     stats=self.stats)
+                for fact in derived:
+                    if self.db.add(engine_rule.head.pred, fact):
+                        fresh.setdefault(engine_rule.head.pred, set()).add(fact)
+
+            # 4. Propagate all fresh facts through the strata.
+            if fresh:
+                added = propagate_insertions(
+                    self._current_strata(), self.db, self.context, fresh,
+                    edb_facts=self._edb_facts, provenance=self.provenance,
+                    stats=self.stats,
+                )
+                progressed = True
+                fresh = {}
+                for pred, facts in added.items():
+                    for fact in facts:
+                        for value in fact:
+                            for ref in self.registry.refs_in_value(value):
+                                self._ensure_reified(ref)
+                for pred, facts in self._txn_fresh.items():
+                    fresh.setdefault(pred, set()).update(facts)
+                self._txn_fresh = {}
+
+            if not progressed and not fresh and not self._pending_template_refs:
+                return
+        raise ActivationLimitError(
+            f"workspace {self.name!r} did not quiesce within "
+            f"{self.max_activation_rounds} activation rounds"
+        )
+
+    def _handle_deletions(self, deleted: FactSet) -> None:
+        """DRed the deletions; deactivations force a full recompute."""
+        active_before = set(self._activated)
+        propagate_deletions(self._current_strata(), self.db, self.context,
+                            deleted, edb_facts=self._edb_facts,
+                            provenance=self.provenance, stats=self.stats)
+        active_now = {
+            fact[0] for fact in self.db.tuples(ACTIVE_PRED)
+            if fact and isinstance(fact[0], RuleRef)
+        }
+        deactivated = active_before - active_now
+        if deactivated:
+            for ref in deactivated:
+                self._activated.pop(ref, None)
+            self._strata = None
+            self._full_recompute()
+
+    def _full_recompute(self) -> None:
+        """Reset all derived state and re-derive from the EDB."""
+        self.db = Database()
+        for pred, facts in self.edb.items():
+            for fact in facts:
+                self.db.add(pred, fact)
+        if self.provenance is not None:
+            self.provenance.derivations.clear()
+            for pred, facts in self.edb.items():
+                for fact in facts:
+                    self.provenance.record_edb(pred, fact)
+        self._activated = {}
+        self._strata = None
+        # Seed propagation with every EDB fact; the activation loop will
+        # re-activate rules from the `active` relation as it goes.
+        for pred, facts in self.edb.items():
+            if facts:
+                self._txn_fresh.setdefault(pred, set()).update(facts)
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Workspace({self.name!r}, {self.db.total_facts()} facts, "
+                f"{len(self._activated)} active rules)")

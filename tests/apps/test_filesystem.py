@@ -1,0 +1,184 @@
+"""The section 9 file system: all three workflows of Figure 3 + security."""
+
+import pytest
+
+from repro.apps.filesystem import AccessDenied, DistributedFileSystem
+from repro.datalog.errors import ConstraintViolation
+
+
+def direct_fs(auth="plaintext"):
+    fs = DistributedFileSystem(auth=auth, seed=31)
+    fs.add_store("store")
+    fs.add_owner("owner", mode="direct")
+    fs.add_requester("reader")
+    fs.create_file("doc", owner="owner", store="store", data="contents")
+    return fs
+
+
+class TestDirectMode:
+    def test_authorized_read(self):
+        fs = direct_fs()
+        fs.grant("owner", "reader", "doc", "read")
+        assert fs.read("reader", "doc", "store") == "contents"
+
+    def test_unauthorized_read_denied(self):
+        fs = direct_fs()
+        with pytest.raises(AccessDenied):
+            fs.read("reader", "doc", "store")
+
+    def test_grant_after_denial_allows(self):
+        fs = direct_fs()
+        with pytest.raises(AccessDenied):
+            fs.read("reader", "doc", "store")
+        fs.grant("owner", "reader", "doc", "read")
+        assert fs.read("reader", "doc", "store") == "contents"
+
+    def test_per_file_grants(self):
+        fs = direct_fs()
+        fs.create_file("other", owner="owner", store="store", data="2nd")
+        fs.grant("owner", "reader", "doc", "read")
+        assert fs.read("reader", "doc", "store") == "contents"
+        with pytest.raises(AccessDenied):
+            fs.read("reader", "other", "store")
+
+    def test_read_grant_does_not_allow_write(self):
+        fs = direct_fs()
+        fs.grant("owner", "reader", "doc", "read")
+        with pytest.raises(AccessDenied):
+            fs.write("reader", "doc", "store", "vandalized")
+        assert fs.read("reader", "doc", "store") == "contents"
+
+    def test_authorized_write_applies(self):
+        fs = direct_fs()
+        fs.grant("owner", "reader", "doc", "read")
+        fs.grant("owner", "reader", "doc", "write")
+        fs.write("reader", "doc", "store", "updated")
+        assert fs.read("reader", "doc", "store") == "updated"
+
+    def test_hmac_authenticated_workflow(self):
+        fs = direct_fs(auth="hmac")
+        fs.grant("owner", "reader", "doc", "read")
+        assert fs.read("reader", "doc", "store") == "contents"
+
+    def test_file_constraint_f6(self):
+        fs = direct_fs()
+        store = fs.stores["store"]
+        with pytest.raises(ConstraintViolation):
+            store.assert_fact("file", ("phantom",))
+
+
+class TestDelegatedMode:
+    def build(self):
+        fs = DistributedFileSystem(auth="plaintext", seed=32)
+        fs.add_store("store")
+        fs.add_owner("owner", mode="delegated")
+        fs.add_requester("reader")
+        fs.add_manager("mgr")
+        fs.owner_trusts_manager("owner", "mgr", delegate=True, depth=0)
+        fs.create_file("doc", owner="owner", store="store", data="managed")
+        return fs
+
+    def test_manager_decision_grants_access(self):
+        fs = self.build()
+        fs.manager_grant("mgr", "reader", "doc", "read")
+        assert fs.read("reader", "doc", "store") == "managed"
+
+    def test_without_manager_grant_denied(self):
+        fs = self.build()
+        with pytest.raises(AccessDenied):
+            fs.read("reader", "doc", "store")
+
+    def test_manager_cannot_redelegate_depth_0(self):
+        fs = self.build()
+        fs.system.run()
+        mgr = fs.managers["mgr"]
+        mgr.load("permitted(A,B,C) -> prin(A), string(B), string(C).")
+        with pytest.raises(ConstraintViolation):
+            mgr.delegate("reader", "permitted")
+
+    def test_self_vouching_rejected(self):
+        """A requester saying its own permitted verdict is rejected by the
+        mayWrite meta-constraint and audited."""
+        fs = self.build()
+        fs.requesters["reader"].says(
+            "owner", 'permitted("reader","doc","read").')
+        report = fs.system.run()
+        assert report.rejected >= 1
+        with pytest.raises(AccessDenied):
+            fs.read("reader", "doc", "store")
+        assert any(e.kind == "import_rejected"
+                   for e in fs.owners["owner"].audit)
+
+
+class TestThresholdMode:
+    def build(self, k=2, managers=3):
+        fs = DistributedFileSystem(auth="plaintext", seed=33)
+        fs.add_store("store")
+        fs.add_owner("owner", mode="threshold", threshold=k)
+        fs.add_requester("reader")
+        for i in range(managers):
+            fs.add_manager(f"m{i}")
+            fs.owner_trusts_manager("owner", f"m{i}", delegate=False)
+        fs.create_file("doc", owner="owner", store="store", data="classified")
+        return fs
+
+    def test_below_threshold_denied(self):
+        fs = self.build(k=2)
+        fs.manager_grant("m0", "reader", "doc", "read")
+        with pytest.raises(AccessDenied):
+            fs.read("reader", "doc", "store")
+
+    def test_at_threshold_granted(self):
+        fs = self.build(k=2)
+        fs.manager_grant("m0", "reader", "doc", "read")
+        fs.manager_grant("m1", "reader", "doc", "read")
+        assert fs.read("reader", "doc", "store") == "classified"
+
+    def test_three_of_three(self):
+        fs = self.build(k=3)
+        for i in range(2):
+            fs.manager_grant(f"m{i}", "reader", "doc", "read")
+        with pytest.raises(AccessDenied):
+            fs.read("reader", "doc", "store")
+        fs.manager_grant("m2", "reader", "doc", "read")
+        assert fs.read("reader", "doc", "store") == "classified"
+
+    def test_single_manager_cannot_push_permitted(self):
+        """In threshold mode a manager's unsolicited `permitted` verdict
+        has no grant and is rejected."""
+        fs = self.build(k=2)
+        fs.managers["m0"].says("owner", 'permitted("reader","doc","read").')
+        report = fs.system.run()
+        assert report.rejected >= 1
+        with pytest.raises(AccessDenied):
+            fs.read("reader", "doc", "store")
+
+
+class TestMultiPrincipalTopologies:
+    def test_two_stores_two_owners(self):
+        fs = DistributedFileSystem(auth="plaintext", seed=34)
+        fs.add_store("s1")
+        fs.add_store("s2")
+        fs.add_owner("o1", mode="direct")
+        fs.add_owner("o2", mode="direct")
+        fs.add_requester("r")
+        fs.create_file("a", owner="o1", store="s1", data="A")
+        fs.create_file("b", owner="o2", store="s2", data="B")
+        fs.grant("o1", "r", "a", "read")
+        assert fs.read("r", "a", "s1") == "A"
+        with pytest.raises(AccessDenied):
+            fs.read("r", "b", "s2")
+        fs.grant("o2", "r", "b", "read")
+        assert fs.read("r", "b", "s2") == "B"
+
+    def test_colocated_store_and_owner(self):
+        fs = DistributedFileSystem(auth="plaintext", seed=35)
+        system = fs.system
+        # store and owner share a physical node (section 3.5 transparency)
+        system.create_principal("storeowner-node")  # reserve a node name
+        fs.add_store("store")
+        fs.add_owner("owner", mode="direct")
+        fs.add_requester("reader")
+        fs.create_file("doc", owner="owner", store="store", data="x")
+        fs.grant("owner", "reader", "doc", "read")
+        assert fs.read("reader", "doc", "store") == "x"

@@ -1,0 +1,43 @@
+"""Shared fixtures: small-key systems so crypto-backed tests stay fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LBTrustSystem
+from repro.datalog.database import Database
+from repro.datalog.runtime import EvalContext
+from repro.datalog.terms import Rule
+from repro.datalog.parser import parse_statements
+
+
+#: RSA modulus size used throughout the test-suite (keygen in ms, and the
+#: cost ordering RSA > HMAC > plaintext still holds).
+TEST_RSA_BITS = 256
+
+
+@pytest.fixture
+def make_system():
+    """Factory for LBTrust systems with test-sized keys."""
+
+    def factory(auth: str = "plaintext", **kwargs) -> LBTrustSystem:
+        kwargs.setdefault("rsa_bits", TEST_RSA_BITS)
+        kwargs.setdefault("seed", 42)
+        return LBTrustSystem(auth=auth, **kwargs)
+
+    return factory
+
+
+@pytest.fixture
+def context() -> EvalContext:
+    return EvalContext()
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database()
+
+
+def rules_of(source: str) -> list[Rule]:
+    """Parse source and return only the rules (helper for engine tests)."""
+    return [s for s in parse_statements(source) if isinstance(s, Rule)]

@@ -1,0 +1,121 @@
+"""Authorization meta-constraints (sections 3.3 and 4.1)."""
+
+import pytest
+
+from repro.core.authorization import (
+    install_owner_access,
+    install_says_authorization,
+    record_owner,
+)
+from repro.core.says import install_says_machinery
+from repro.datalog.errors import ConstraintViolation
+from repro.datalog.parser import parse_rule
+from repro.meta.registry import RuleRegistry
+from repro.workspace.workspace import Workspace
+
+
+def fresh(name="alice"):
+    registry = RuleRegistry()
+    workspace = Workspace(name, registry=registry)
+    install_says_machinery(workspace)
+    return registry, workspace
+
+
+class TestMayRead:
+    def test_unauthorized_reader_rejected(self):
+        registry, workspace = fresh()
+        install_says_authorization(workspace)
+        workspace.assert_fact("secret", ("s1",))
+        ref = registry.intern(parse_rule("leak(X) <- secret(X)."))
+        with pytest.raises(ConstraintViolation):
+            workspace.assert_fact("says", ("mallory", "alice", ref))
+        assert workspace.tuples("leak") == set()
+
+    def test_granted_reader_accepted(self):
+        registry, workspace = fresh()
+        install_says_authorization(workspace, writes=False)
+        workspace.assert_fact("secret", ("s1",))
+        workspace.assert_fact("mayRead", ("bob", "secret"))
+        ref = registry.intern(parse_rule("report(X) <- secret(X)."))
+        workspace.assert_fact("says", ("bob", "alice", ref))
+        assert workspace.tuples("report") == {("s1",)}
+
+    def test_rule_reading_two_preds_needs_both_grants(self):
+        registry, workspace = fresh()
+        install_says_authorization(workspace, writes=False)
+        workspace.assert_fact("mayRead", ("bob", "a"))
+        ref = registry.intern(parse_rule("out(X) <- a(X), b(X)."))
+        with pytest.raises(ConstraintViolation):
+            workspace.assert_fact("says", ("bob", "alice", ref))
+        workspace.assert_fact("mayRead", ("bob", "b"))
+        workspace.assert_fact("says", ("bob", "alice", ref))
+
+    def test_facts_require_no_read_grant(self):
+        registry, workspace = fresh()
+        install_says_authorization(workspace, writes=False)
+        ref = registry.intern(parse_rule('info("x").'))
+        workspace.assert_fact("says", ("bob", "alice", ref))
+        assert workspace.tuples("info") == {("x",)}
+
+    def test_self_exempt(self):
+        registry, workspace = fresh()
+        install_says_authorization(workspace)
+        workspace.assert_fact("secret", ("s1",))
+        ref = registry.intern(parse_rule("mine(X) <- secret(X)."))
+        workspace.assert_fact("says", ("alice", "alice", ref))
+        assert workspace.tuples("mine") == {("s1",)}
+
+
+class TestMayWrite:
+    def test_unauthorized_writer_rejected(self):
+        registry, workspace = fresh()
+        install_says_authorization(workspace, reads=False)
+        ref = registry.intern(parse_rule('verdict("guilty").'))
+        with pytest.raises(ConstraintViolation):
+            workspace.assert_fact("says", ("mallory", "alice", ref))
+        assert workspace.tuples("verdict") == set()
+
+    def test_granted_writer_accepted(self):
+        registry, workspace = fresh()
+        install_says_authorization(workspace, reads=False)
+        workspace.assert_fact("mayWrite", ("judge", "verdict"))
+        ref = registry.intern(parse_rule('verdict("guilty").'))
+        workspace.assert_fact("says", ("judge", "alice", ref))
+        assert workspace.tuples("verdict") == {("guilty",)}
+
+    def test_rule_heads_checked(self):
+        registry, workspace = fresh()
+        install_says_authorization(workspace, reads=False)
+        workspace.assert_fact("mayWrite", ("bob", "ok"))
+        workspace.assert_fact("base", ("x",))
+        allowed = registry.intern(parse_rule("ok(X) <- base(X)."))
+        workspace.assert_fact("says", ("bob", "alice", allowed))
+        assert workspace.tuples("ok") == {("x",)}
+        forbidden = registry.intern(parse_rule("evil(X) <- base(X)."))
+        with pytest.raises(ConstraintViolation):
+            workspace.assert_fact("says", ("bob", "alice", forbidden))
+
+
+class TestOwnerAccess:
+    """The section 3.3 worked example, verbatim semantics."""
+
+    def test_owner_without_access_rejected(self):
+        registry, workspace = fresh()
+        install_owner_access(workspace)
+        ref = workspace.add_rule("view(X) <- payroll(X).")
+        with pytest.raises(ConstraintViolation):
+            record_owner(workspace, ref, "intern")
+
+    def test_owner_with_access_accepted(self):
+        registry, workspace = fresh()
+        install_owner_access(workspace)
+        workspace.assert_fact("access", ("cfo", "payroll", "read"))
+        ref = workspace.add_rule("view(X) <- payroll(X).")
+        record_owner(workspace, ref, "cfo")
+        assert ("cfo", ref) in workspace.tuples("owner")
+
+    def test_fact_rules_unconstrained(self):
+        registry, workspace = fresh()
+        install_owner_access(workspace)
+        ref = workspace.add_rule('payroll("row").')
+        record_owner(workspace, ref, "intern")  # facts read nothing

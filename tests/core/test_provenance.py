@@ -1,0 +1,79 @@
+"""Provenance (section 7, built): explain trees and trust chains."""
+
+import pytest
+
+from repro.core.provenance import explain, format_explanation, trust_chain
+from repro.workspace.workspace import Workspace
+
+
+class TestExplain:
+    def make_workspace(self):
+        workspace = Workspace("w", enable_provenance=True)
+        workspace.load("""
+            e("a","b"). e("b","c").
+            r(X,Y) <- e(X,Y).
+            tc: r(X,Z) <- r(X,Y), e(Y,Z).
+        """)
+        return workspace
+
+    def test_edb_leaf(self):
+        workspace = self.make_workspace()
+        node = explain(workspace, "e", ("a", "b"))
+        assert node.is_edb and node.children == []
+
+    def test_derived_tree(self):
+        workspace = self.make_workspace()
+        node = explain(workspace, "r", ("a", "c"))
+        assert node is not None and not node.is_edb
+        assert node.rule == "tc"
+        leaf_facts = set()
+
+        def collect(n):
+            if n.is_edb:
+                leaf_facts.add((n.pred, n.fact))
+            for child in n.children:
+                collect(child)
+
+        collect(node)
+        assert ("e", ("a", "b")) in leaf_facts
+        assert ("e", ("b", "c")) in leaf_facts
+
+    def test_unknown_fact(self):
+        workspace = self.make_workspace()
+        assert explain(workspace, "r", ("z", "z")) is None
+
+    def test_formatting(self):
+        workspace = self.make_workspace()
+        text = format_explanation(explain(workspace, "r", ("a", "c")))
+        assert "tc" in text and "asserted" in text
+
+    def test_disabled_provenance_raises(self):
+        workspace = Workspace("w")
+        with pytest.raises(ValueError):
+            explain(workspace, "p", ("x",))
+
+    def test_provenance_after_retraction(self):
+        workspace = self.make_workspace()
+        workspace.retract_fact("e", ("b", "c"))
+        assert explain(workspace, "r", ("a", "c")) is None
+        assert explain(workspace, "r", ("a", "b")) is not None
+
+    def test_cycles_terminate(self):
+        workspace = Workspace("w", enable_provenance=True)
+        workspace.load('e("a","b"). e("b","a"). '
+                       "r(X,Y) <- e(X,Y). r(X,Z) <- r(X,Y), e(Y,Z).")
+        node = explain(workspace, "r", ("a", "a"))
+        assert node is not None
+
+
+class TestTrustChain:
+    def test_says_hops_collected(self, make_system):
+        system = make_system("plaintext", enable_provenance=True)
+        alice = system.create_principal("alice")
+        bob = system.create_principal("bob")
+        bob.load('object("f1"). access(P,O,"read") <- good(P), object(O).')
+        alice.says(bob, 'good("carol").')
+        system.run()
+        hops = trust_chain(bob.workspace, "access", ("carol", "f1", "read"))
+        assert any(speaker == "alice" and 'good("carol")' in text
+                   for speaker, _listener, text in hops)

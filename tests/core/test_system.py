@@ -1,0 +1,153 @@
+"""System runtime: placement, distribution, colocation, multi-hop runs."""
+
+import pytest
+
+from repro.datalog.errors import WorkspaceError
+from repro.datalog.terms import PredPartition
+from repro.net.network import SimulatedNetwork
+
+
+class TestPrincipalManagement:
+    def test_duplicate_principal_rejected(self, make_system):
+        system = make_system()
+        system.create_principal("alice")
+        with pytest.raises(WorkspaceError):
+            system.create_principal("alice")
+
+    def test_everyone_knows_locations(self, make_system):
+        system = make_system()
+        alice = system.create_principal("alice")
+        bob = system.create_principal("bob", node="host7")
+        assert ("bob", "host7") in alice.tuples("loc")
+        assert ("alice", "alice") in bob.tuples("loc")
+        assert ("bob",) in alice.tuples("prin")
+
+    def test_principal_lookup(self, make_system):
+        system = make_system()
+        alice = system.create_principal("alice")
+        assert system.principal("alice") is alice
+        with pytest.raises(WorkspaceError):
+            system.principal("ghost")
+
+
+class TestPlacement:
+    def test_ld2_places_export_partitions(self, make_system):
+        """The paper's ld1/ld2 rules drive predNode placement."""
+        system = make_system()
+        alice = system.create_principal("alice")
+        system.create_principal("bob", node="hostB")
+        placements = dict()
+        for part, node in alice.tuples("predNode"):
+            placements[part] = node
+        assert placements[PredPartition("export", ("bob",))] == "hostB"
+        assert placements[PredPartition("export", ("alice",))] == "alice"
+
+    def test_custom_placement_via_loc(self, make_system):
+        """'Users can easily enforce various distribution plans by
+        modifying the loc table' (section 5.2)."""
+        system = make_system()
+        alice = system.create_principal("alice")
+        system.network.add_node("elsewhere")
+        with alice.workspace.transaction():
+            alice.assert_fact("prin", ("carol",))
+            alice.assert_fact("node", ("elsewhere",))
+            alice.assert_fact("loc", ("carol", "elsewhere"))
+        placements = dict(alice.tuples("predNode"))
+        assert placements[PredPartition("export", ("carol",))] == "elsewhere"
+
+
+class TestColocation:
+    def test_two_principals_one_node(self, make_system):
+        """Location transparency: policies unchanged when colocated."""
+        system = make_system("hmac")
+        alice = system.create_principal("alice", node="shared")
+        bob = system.create_principal("bob", node="shared")
+        bob.load("seen(X) <- msg(X).")
+        alice.says(bob, 'msg("local").')
+        report = system.run()
+        assert bob.tuples("seen") == {("local",)}
+        # messages between colocated principals cost zero latency
+        assert report.virtual_time == 0.0
+
+    def test_mixed_colocated_and_remote(self, make_system):
+        system = make_system("plaintext")
+        alice = system.create_principal("alice", node="n1")
+        bob = system.create_principal("bob", node="n1")
+        carol = system.create_principal("carol", node="n2")
+        for principal in (bob, carol):
+            principal.load("seen(X) <- msg(X).")
+        alice.says(bob, 'msg("near").')
+        alice.says(carol, 'msg("far").')
+        report = system.run()
+        assert bob.tuples("seen") == {("near",)}
+        assert carol.tuples("seen") == {("far",)}
+        assert report.virtual_time > 0.0
+
+
+class TestRunLoop:
+    def test_multi_hop_forwarding(self, make_system):
+        """A fact relayed a→b→c needs multiple rounds."""
+        system = make_system("plaintext")
+        a = system.create_principal("a")
+        b = system.create_principal("b")
+        c = system.create_principal("c")
+        b.load('says(me,"c",[| msg(X). |]) <- msg(X).')
+        c.load("seen(X) <- msg(X).")
+        a.says(b, 'msg("relay me").')
+        report = system.run()
+        assert c.tuples("seen") == {("relay me",)}
+        assert report.rounds >= 2
+
+    def test_no_duplicate_sends(self, make_system):
+        system = make_system("plaintext")
+        a = system.create_principal("a")
+        b = system.create_principal("b")
+        a.says(b, 'msg("once").')
+        first = system.run()
+        second = system.run()
+        assert first.delivered == 1
+        assert second.delivered == 0
+
+    def test_quiescence_report(self, make_system):
+        system = make_system()
+        report = system.run()
+        assert report.rounds == 0 and report.delivered == 0
+
+    def test_says_to_unknown_principal_stays_queued(self, make_system):
+        system = make_system("plaintext")
+        a = system.create_principal("a")
+        a.says("ghost", 'msg("void").')
+        report = system.run()
+        # no placement for ghost → nothing is sent, nothing crashes
+        assert report.delivered == 0
+
+    def test_bidirectional_exchange(self, make_system):
+        system = make_system("hmac")
+        a = system.create_principal("a")
+        b = system.create_principal("b")
+        a.load("got(X) <- ping(X).")
+        b.load('says(me,"a",[| ping(X). |]) <- pong(X).')
+        a.says(b, 'pong("1").')
+        system.run()
+        assert a.tuples("got") == {("1",)}
+
+
+class TestNetworkIntegration:
+    def test_latency_model_respected(self, make_system):
+        network = SimulatedNetwork(default_latency=3.0)
+        system = make_system("plaintext", network=network)
+        a = system.create_principal("a")
+        b = system.create_principal("b")
+        b.load("seen(X) <- msg(X).")
+        a.says(b, 'msg("slow").')
+        report = system.run()
+        assert report.virtual_time >= 3.0
+
+    def test_traffic_accounting(self, make_system):
+        system = make_system("plaintext")
+        a = system.create_principal("a")
+        b = system.create_principal("b")
+        a.says(b, 'msg("counted").')
+        report = system.run()
+        assert report.bytes > 0
+        assert system.network.total.messages == 1

@@ -1,0 +1,107 @@
+"""From-scratch RSA: primality, keygen, signatures, encryption."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import rsa
+from repro.datalog.errors import CryptoError
+
+
+class TestMillerRabin:
+    KNOWN_PRIMES = [2, 3, 5, 7, 97, 7919, 104729, 2 ** 61 - 1]
+    KNOWN_COMPOSITES = [1, 4, 9, 100, 7917, 561, 41041, 2 ** 61 - 3]
+    # 561 and 41041 are Carmichael numbers — Fermat-test liars.
+
+    @pytest.mark.parametrize("prime", KNOWN_PRIMES)
+    def test_primes_accepted(self, prime):
+        assert rsa.is_probable_prime(prime)
+
+    @pytest.mark.parametrize("composite", KNOWN_COMPOSITES)
+    def test_composites_rejected(self, composite):
+        assert not rsa.is_probable_prime(composite)
+
+    @given(st.integers(2, 10 ** 6))
+    @settings(max_examples=200, deadline=None)
+    def test_property_matches_trial_division(self, candidate):
+        by_trial = all(candidate % d for d in range(2, int(candidate ** 0.5) + 1))
+        assert rsa.is_probable_prime(candidate) == (by_trial and candidate >= 2)
+
+    def test_generated_primes_have_exact_size(self):
+        rng = random.Random(5)
+        for bits in (64, 128):
+            prime = rsa.generate_prime(bits, rng)
+            assert prime.bit_length() == bits
+            assert rsa.is_probable_prime(prime)
+
+
+class TestKeyGeneration:
+    def test_key_consistency(self):
+        key = rsa.generate_keypair(bits=256, seed=1)
+        assert key.n == key.p * key.q
+        assert key.n.bit_length() == 256
+        # e*d ≡ 1 (mod φ(n))
+        phi = (key.p - 1) * (key.q - 1)
+        assert (key.e * key.d) % phi == 1
+
+    def test_deterministic_with_seed(self):
+        assert rsa.generate_keypair(256, seed=9) == rsa.generate_keypair(256, seed=9)
+        assert rsa.generate_keypair(256, seed=9) != rsa.generate_keypair(256, seed=10)
+
+    def test_fingerprint_format(self):
+        key = rsa.generate_keypair(256, seed=2).public()
+        assert key.fingerprint().startswith("rsa:256:")
+
+
+class TestSignatures:
+    KEY = rsa.generate_keypair(bits=256, seed=3)
+
+    def test_round_trip(self):
+        signature = rsa.sign(b"hello", self.KEY)
+        assert rsa.verify(b"hello", signature, self.KEY.public())
+
+    def test_tampered_message_rejected(self):
+        signature = rsa.sign(b"hello", self.KEY)
+        assert not rsa.verify(b"hellp", signature, self.KEY.public())
+
+    def test_tampered_signature_rejected(self):
+        signature = rsa.sign(b"hello", self.KEY)
+        assert not rsa.verify(b"hello", signature ^ 1, self.KEY.public())
+
+    def test_wrong_key_rejected(self):
+        other = rsa.generate_keypair(bits=256, seed=4)
+        signature = rsa.sign(b"hello", self.KEY)
+        assert not rsa.verify(b"hello", signature, other.public())
+
+    def test_out_of_range_signature_rejected(self):
+        assert not rsa.verify(b"hello", self.KEY.n + 5, self.KEY.public())
+        assert not rsa.verify(b"hello", -1, self.KEY.public())
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_property_sign_verify(self, message):
+        signature = rsa.sign(message, self.KEY)
+        assert rsa.verify(message, signature, self.KEY.public())
+
+
+class TestEncryption:
+    KEY = rsa.generate_keypair(bits=256, seed=6)
+
+    def test_int_round_trip(self):
+        plaintext = 123456789
+        ciphertext = rsa.encrypt_int(plaintext, self.KEY.public())
+        assert ciphertext != plaintext
+        assert rsa.decrypt_int(ciphertext, self.KEY) == plaintext
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CryptoError):
+            rsa.encrypt_int(self.KEY.n, self.KEY.public())
+        with pytest.raises(CryptoError):
+            rsa.decrypt_int(-1, self.KEY)
+
+    @given(st.integers(0, 2 ** 128))
+    @settings(max_examples=50, deadline=None)
+    def test_property_encrypt_decrypt(self, plaintext):
+        ciphertext = rsa.encrypt_int(plaintext, self.KEY.public())
+        assert rsa.decrypt_int(ciphertext, self.KEY) == plaintext

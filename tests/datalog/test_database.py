@@ -1,0 +1,79 @@
+"""Relations, indexes, snapshots."""
+
+from repro.datalog.database import Database, Relation
+
+
+class TestRelation:
+    def test_add_dedupes(self):
+        relation = Relation("p")
+        assert relation.add(("a", 1))
+        assert not relation.add(("a", 1))
+        assert len(relation) == 1
+
+    def test_discard(self):
+        relation = Relation("p", [("a", 1)])
+        assert relation.discard(("a", 1))
+        assert not relation.discard(("a", 1))
+        assert len(relation) == 0
+
+    def test_lookup_builds_index(self):
+        relation = Relation("p", [("a", 1), ("a", 2), ("b", 3)])
+        assert sorted(relation.lookup((0,), ("a",))) == [("a", 1), ("a", 2)]
+        assert relation.lookup((0,), ("z",)) == []
+
+    def test_index_maintained_on_add(self):
+        relation = Relation("p", [("a", 1)])
+        relation.lookup((0,), ("a",))  # build the index
+        relation.add(("a", 2))
+        assert sorted(relation.lookup((0,), ("a",))) == [("a", 1), ("a", 2)]
+
+    def test_index_maintained_on_discard(self):
+        relation = Relation("p", [("a", 1), ("a", 2)])
+        relation.lookup((0,), ("a",))
+        relation.discard(("a", 1))
+        assert relation.lookup((0,), ("a",)) == [("a", 2)]
+
+    def test_multi_column_index(self):
+        relation = Relation("p", [("a", 1, "x"), ("a", 2, "x"), ("a", 3, "y")])
+        hits = relation.lookup((0, 2), ("a", "x"))
+        assert set(hits) == {("a", 1, "x"), ("a", 2, "x")}
+        assert relation.lookup((0, 2), ("b", "x")) == []
+
+    def test_copy_is_independent(self):
+        relation = Relation("p", [("a",)])
+        clone = relation.copy()
+        relation.add(("b",))
+        assert ("b",) not in clone
+
+
+class TestDatabase:
+    def test_rel_creates_on_demand(self):
+        database = Database()
+        assert len(database.rel("p")) == 0
+        assert "p" in database.relations
+
+    def test_tuples_of_missing_is_empty(self):
+        assert Database().tuples("nope") == set()
+
+    def test_snapshot_restore(self):
+        database = Database()
+        database.add("p", ("a",))
+        snapshot = database.snapshot()
+        database.add("p", ("b",))
+        database.add("q", ("c",))
+        database.restore(snapshot)
+        assert database.tuples("p") == {("a",)}
+        assert database.tuples("q") == set()
+
+    def test_snapshot_isolated_from_source(self):
+        database = Database()
+        database.add("p", ("a",))
+        snapshot = database.snapshot()
+        database.add("p", ("b",))
+        assert snapshot.tuples("p") == {("a",)}
+
+    def test_total_facts(self):
+        database = Database()
+        database.add("p", ("a",))
+        database.add("q", ("b",))
+        assert database.total_facts() == 2

@@ -1,0 +1,132 @@
+"""Tokenizer behaviour, especially the gluing rules the dialect needs."""
+
+import pytest
+
+from repro.datalog.errors import ParseError
+from repro.datalog.lexer import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "EOF"]
+
+
+class TestBasicTokens:
+    def test_identifier(self):
+        assert kinds("access") == [("IDENT", "access")]
+
+    def test_variable_uppercase(self):
+        assert kinds("Principal") == [("VAR", "Principal")]
+
+    def test_underscore_is_variable(self):
+        assert kinds("_") == [("VAR", "_")]
+
+    def test_underscore_prefixed_variable(self):
+        assert kinds("_Tmp") == [("VAR", "_Tmp")]
+
+    def test_integer(self):
+        assert kinds("42") == [("INT", "42")]
+
+    def test_float(self):
+        assert kinds("3.25") == [("FLOAT", "3.25")]
+
+    def test_integer_then_period_is_not_float(self):
+        # "p(1)." must end with a '.' punct, not swallow it into a float
+        assert kinds("1.")[-1] == ("PUNCT", ".")
+
+    def test_string(self):
+        assert kinds('"hello world"') == [("STRING", "hello world")]
+
+    def test_string_escapes(self):
+        assert kinds(r'"a\"b\\c\nd"') == [("STRING", 'a"b\\c\nd')]
+
+    def test_hex_bytes(self):
+        assert kinds("0xdeadbeef") == [("HEX", "0xdeadbeef")]
+
+    def test_keywords(self):
+        assert kinds("me true false agg") == [
+            ("KEYWORD", "me"), ("KEYWORD", "true"),
+            ("KEYWORD", "false"), ("KEYWORD", "agg"),
+        ]
+
+    def test_says_is_plain_identifier(self):
+        # 'says' is a predicate in the core dialect, not a keyword
+        assert kinds("says")[0][0] == "IDENT"
+
+    def test_apostrophe_in_identifier(self):
+        # the paper's curried predicates are written p'
+        assert kinds("p'") == [("IDENT", "p'")]
+
+
+class TestPunctuation:
+    @pytest.mark.parametrize("punct", [
+        "[|", "|]", "<<", ">>", "<-", "->", ":-", "<=", ">=", "!=",
+        "(", ")", "[", "]", "<", ">", "=", "+", "-", "*", "/",
+        ",", ";", "!", ".", "@", ":",
+    ])
+    def test_each_punct(self, punct):
+        assert kinds(punct) == [("PUNCT", punct)]
+
+    def test_quote_brackets_beat_plain_brackets(self):
+        assert kinds("[|x|]") == [
+            ("PUNCT", "[|"), ("IDENT", "x"), ("PUNCT", "|]"),
+        ]
+
+    def test_arrow_vs_less_equal(self):
+        assert kinds("a<-b") == [("IDENT", "a"), ("PUNCT", "<-"), ("IDENT", "b")]
+        assert kinds("a <= b")[1] == ("PUNCT", "<=")
+
+    def test_agg_delimiters(self):
+        assert [k for k, _ in kinds("<<N>>")] == ["PUNCT", "VAR", "PUNCT"]
+
+
+class TestGluing:
+    def test_qualified_name_is_glued(self):
+        tokens = tokenize("message:id")
+        assert tokens[1].glued and tokens[2].glued
+
+    def test_label_colon_not_glued_to_next(self):
+        tokens = tokenize("m2: message")
+        # 'message' follows whitespace, so it is not glued
+        assert not tokens[2].glued
+
+    def test_star_gluing_for_kleene(self):
+        tokens = tokenize("T* N * 2")
+        assert tokens[1].glued          # star glued to T
+        assert not tokens[3].glued      # star after N has a space
+
+    def test_partition_bracket_glued(self):
+        tokens = tokenize("export[me] export [me]")
+        assert tokens[1].glued
+        assert not tokens[5].glued
+
+
+class TestCommentsAndErrors:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("IDENT", "a"), ("IDENT", "b")]
+
+    def test_percent_comment(self):
+        assert kinds("a % comment\nb") == [("IDENT", "a"), ("IDENT", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("IDENT", "a"), ("IDENT", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("a /* never closed")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"no close')
+
+    def test_newline_in_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"a\nb"')
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a # b")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3

@@ -1,0 +1,79 @@
+"""DNF normalization of body formulas."""
+
+import pytest
+
+from repro.datalog.errors import ParseError
+from repro.datalog.logic import And, Not, Or, conj, disj, push_negations, to_dnf
+from repro.datalog.terms import Atom, BuiltinCall, Comparison, Literal, Variable
+
+
+def lit(name):
+    return Literal(Atom(name, (Variable("X"),)))
+
+
+class TestConstructors:
+    def test_conj_flattens(self):
+        formula = conj([conj([lit("a"), lit("b")]), lit("c")])
+        assert isinstance(formula, And)
+        assert len(formula.parts) == 3
+
+    def test_singleton_conj_collapses(self):
+        assert conj([lit("a")]) == lit("a")
+
+    def test_disj_flattens(self):
+        formula = disj([disj([lit("a"), lit("b")]), lit("c")])
+        assert isinstance(formula, Or)
+        assert len(formula.parts) == 3
+
+
+class TestNegation:
+    def test_double_negation(self):
+        assert push_negations(Not(Not(lit("a")))) == lit("a")
+
+    def test_de_morgan_and(self):
+        formula = push_negations(Not(And((lit("a"), lit("b")))))
+        assert isinstance(formula, Or)
+        assert all(part.negated for part in formula.parts)
+
+    def test_de_morgan_or(self):
+        formula = push_negations(Not(Or((lit("a"), lit("b")))))
+        assert isinstance(formula, And)
+
+    def test_comparison_flip(self):
+        comparison = Comparison("<", Variable("X"), Variable("Y"))
+        flipped = push_negations(Not(comparison))
+        assert flipped.op == ">="
+
+    def test_equality_flip(self):
+        comparison = Comparison("=", Variable("X"), Variable("Y"))
+        assert push_negations(Not(comparison)).op == "!="
+
+    def test_negating_builtin_rejected(self):
+        call = BuiltinCall("rsasign", (Variable("R"),))
+        with pytest.raises(ParseError):
+            push_negations(Not(call))
+
+
+class TestDNF:
+    def test_atom_is_single_alternative(self):
+        assert to_dnf(lit("a")) == ((lit("a"),),)
+
+    def test_or_gives_alternatives(self):
+        assert len(to_dnf(Or((lit("a"), lit("b"))))) == 2
+
+    def test_and_over_or_distributes(self):
+        formula = And((lit("a"), Or((lit("b"), lit("c")))))
+        alternatives = to_dnf(formula)
+        assert len(alternatives) == 2
+        assert all(alt[0] == lit("a") for alt in alternatives)
+
+    def test_cross_product(self):
+        formula = And((Or((lit("a"), lit("b"))), Or((lit("c"), lit("d")))))
+        assert len(to_dnf(formula)) == 4
+
+    def test_negation_inside(self):
+        formula = And((lit("a"), Not(And((lit("b"), lit("c"))))))
+        alternatives = to_dnf(formula)
+        assert len(alternatives) == 2
+        for alt in alternatives:
+            assert alt[1].negated

@@ -1,0 +1,199 @@
+"""The join core: plans, term evaluation, matching, safety analysis."""
+
+import pytest
+
+from repro.datalog.builtins import standard_registry
+from repro.datalog.database import Database, Relation
+from repro.datalog.errors import BuiltinError, SafetyError
+from repro.datalog.parser import parse_statements, parse_term
+from repro.datalog.runtime import (
+    EvalContext,
+    Unbound,
+    bindable_vars,
+    build_plan,
+    check_rule_safety,
+    eval_term,
+    match_literal,
+    solve,
+)
+from repro.datalog.terms import (
+    Atom,
+    BuiltinCall,
+    Comparison,
+    Constant,
+    Literal,
+    PredPartition,
+    Rule,
+    Variable,
+)
+
+
+def body_of(source):
+    (rule,) = [s for s in parse_statements(source) if isinstance(s, Rule)]
+    return rule.body
+
+
+def compiled_body(source):
+    """Body with builtin functors resolved (what the engine actually sees)."""
+    from repro.meta.quote import compile_rule
+
+    (rule,) = [s for s in parse_statements(source) if isinstance(s, Rule)]
+    return compile_rule(rule, None, standard_registry()).body
+
+
+class TestEvalTerm:
+    def setup_method(self):
+        self.context = EvalContext()
+
+    def test_constant(self):
+        assert eval_term(Constant(5), {}, self.context) == 5
+
+    def test_variable_bound(self):
+        assert eval_term(Variable("X"), {"X": "v"}, self.context) == "v"
+
+    def test_variable_unbound_raises(self):
+        with pytest.raises(Unbound):
+            eval_term(Variable("X"), {}, self.context)
+
+    def test_nested_expression(self):
+        term = parse_term("(X + 1) * 2")
+        assert eval_term(term, {"X": 3}, self.context) == 8
+
+    def test_partition_term(self):
+        term = parse_term("export[P]")
+        value = eval_term(term, {"P": "bob"}, self.context)
+        assert value == PredPartition("export", ("bob",))
+
+    def test_quote_without_registry_raises(self):
+        term = parse_term("[| p(X). |]")
+        with pytest.raises(BuiltinError):
+            eval_term(term, {"X": 1}, self.context)
+
+
+class TestMatchLiteral:
+    def test_bound_positions_use_index(self):
+        relation = Relation("p", [("a", 1), ("a", 2), ("b", 3)])
+        atom = Atom("p", (Constant("a"), Variable("X")))
+        results = list(match_literal(atom, relation, {}, EvalContext()))
+        assert {r["X"] for r in results} == {1, 2}
+
+    def test_repeated_free_variable(self):
+        relation = Relation("p", [("a", "a"), ("a", "b")])
+        atom = Atom("p", (Variable("X"), Variable("X")))
+        results = list(match_literal(atom, relation, {}, EvalContext()))
+        assert [r["X"] for r in results] == ["a"]
+
+    def test_arity_mismatch_is_no_match(self):
+        relation = Relation("p", [("a",)])
+        atom = Atom("p", (Variable("X"), Variable("Y")))
+        assert list(match_literal(atom, relation, {}, EvalContext())) == []
+
+    def test_existing_binding_filters(self):
+        relation = Relation("p", [("a", 1), ("b", 2)])
+        atom = Atom("p", (Variable("X"), Variable("Y")))
+        results = list(match_literal(atom, relation, {"X": "b"}, EvalContext()))
+        assert [r["Y"] for r in results] == [2]
+
+
+class TestBuildPlan:
+    def test_filters_scheduled_after_binding(self):
+        body = body_of("h(X) <- big(X), X > 3, small(X).")
+        plan = build_plan(body, builtins=standard_registry())
+        kinds = [type(item).__name__ for _, item in plan.steps]
+        # the comparison runs immediately after the first literal binds X
+        assert kinds == ["Literal", "Comparison", "Literal"]
+
+    def test_negation_deferred_until_shared_vars_bound(self):
+        body = body_of("h(X) <- v(X), !w(X,Y), u(Y).")
+        plan = build_plan(body, builtins=standard_registry())
+        order = [item for _, item in plan.steps]
+        negated_index = next(i for i, item in enumerate(order)
+                             if isinstance(item, Literal) and item.negated)
+        u_index = next(i for i, item in enumerate(order)
+                       if isinstance(item, Literal) and item.atom.pred == "u")
+        assert u_index < negated_index
+
+    def test_delta_position_comes_first(self):
+        body = body_of("h(X,Z) <- a(X,Y), b(Y,Z).")
+        plan = build_plan(body, first=1, builtins=standard_registry())
+        assert plan.steps[0][0] == 1
+
+    def test_builtin_waits_for_inputs(self):
+        body = compiled_body("h(X,N) <- strlen(X,N), v(X).")
+        plan = build_plan(body, builtins=standard_registry())
+        order = [item for _, item in plan.steps]
+        assert isinstance(order[0], Literal)       # v(X) first binds X
+        assert isinstance(order[1], BuiltinCall)
+
+    def test_unknown_builtin_rejected(self):
+        body = (BuiltinCall("nosuch", (Variable("X"),)),)
+        with pytest.raises(SafetyError):
+            build_plan(body, builtins=standard_registry())
+
+    def test_unschedulable_raises(self):
+        body = (Comparison(">", Variable("X"), Constant(1)),)
+        with pytest.raises(SafetyError):
+            build_plan(body, builtins=standard_registry())
+
+
+class TestSafetyAnalysis:
+    def check(self, source):
+        (rule,) = [s for s in parse_statements(source) if isinstance(s, Rule)]
+        check_rule_safety(rule, standard_registry())
+
+    def test_bindable_vars(self):
+        body = compiled_body("h(Y) <- p(X), Y = X + 1, strlen(S,N).")
+        names = bindable_vars(body, standard_registry())
+        assert {"X", "Y", "N"} <= names
+
+    def test_range_restricted_ok(self):
+        self.check("h(X,Y) <- p(X), q(Y).")
+
+    def test_head_var_from_assignment_ok(self):
+        self.check("h(Y) <- p(X), Y = X * 2.")
+
+    def test_head_var_from_builtin_output_ok(self):
+        self.check("h(N) <- p(S), strlen(S,N).")
+
+    def test_unbound_head_var_rejected(self):
+        with pytest.raises(SafetyError):
+            self.check("h(X,Y) <- p(X).")
+
+    def test_quote_template_vars_exempt(self):
+        # R stays a variable of the generated rule — legitimate
+        self.check("active([| a(R) <- s(U,R). |]) <- d(U).")
+
+    def test_aggregate_result_exempt(self):
+        self.check("h(X,N) <- agg<<N = count(Y)>> e(X,Y).")
+
+
+class TestSolveEdgeCases:
+    def test_empty_conjunction_yields_once(self):
+        results = list(solve((), Database(), EvalContext()))
+        assert results == [{}]
+
+    def test_seeded_bindings_respected(self):
+        db = Database()
+        db.add("p", ("a",))
+        db.add("p", ("b",))
+        body = body_of("h(X) <- p(X).")
+        results = list(solve(body, db, EvalContext(), bindings={"X": "a"}))
+        assert [r["X"] for r in results] == ["a"]
+
+    def test_equality_binds_either_side(self):
+        db = Database()
+        db.add("p", (3,))
+        left = body_of("h(Y) <- p(X), Y = X + 1.")
+        right = body_of("h(Y) <- p(X), X + 1 = Y.")
+        for body in (left, right):
+            results = list(solve(body, db, EvalContext()))
+            assert [r["Y"] for r in results] == [4]
+
+    def test_builtin_output_conflict_filters(self):
+        db = Database()
+        db.add("p", ("abc", 3))
+        db.add("p", ("abcd", 3))
+        body = compiled_body("h(S) <- p(S,N), strlen(S,N).")
+        results = list(solve(body, db, EvalContext(
+            builtins=standard_registry())))
+        assert [r["S"] for r in results] == ["abc"]

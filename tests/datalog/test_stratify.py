@@ -1,0 +1,110 @@
+"""Dependency graphs, SCCs, stratum assignment."""
+
+import pytest
+
+from repro.datalog.engine import normalize_rules
+from repro.datalog.errors import StratificationError
+from repro.datalog.parser import parse_statements
+from repro.datalog.stratify import (
+    assign_strata,
+    dependency_graph,
+    stratify,
+    tarjan_sccs,
+)
+from repro.datalog.terms import Rule
+
+
+def rules_of(source):
+    return normalize_rules(
+        [s for s in parse_statements(source) if isinstance(s, Rule)])
+
+
+class TestSCC:
+    def test_mutual_recursion_one_component(self):
+        graph = dependency_graph(rules_of("p(X) <- q(X). q(X) <- p(X)."))
+        components = tarjan_sccs(graph)
+        assert frozenset({"p", "q"}) in components
+
+    def test_chain_separate_components(self):
+        graph = dependency_graph(rules_of("b(X) <- a(X). c(X) <- b(X)."))
+        assert all(len(c) == 1 for c in tarjan_sccs(graph))
+
+    def test_self_loop(self):
+        graph = dependency_graph(rules_of("p(X,Y) <- p(X,Z), e(Z,Y)."))
+        assert frozenset({"p"}) in tarjan_sccs(graph)
+
+
+class TestStrata:
+    def test_edb_is_stratum_zero(self):
+        levels = assign_strata(dependency_graph(rules_of("p(X) <- e(X).")))
+        assert levels["e"] == 0 and levels["p"] == 0
+
+    def test_negation_lifts_stratum(self):
+        levels = assign_strata(dependency_graph(
+            rules_of("p(X) <- n(X), !q(X). q(X) <- e(X).")))
+        assert levels["p"] == levels["q"] + 1
+
+    def test_two_levels_of_negation(self):
+        levels = assign_strata(dependency_graph(rules_of("""
+            a(X) <- e(X).
+            b(X) <- n(X), !a(X).
+            c(X) <- n(X), !b(X).
+        """)))
+        assert levels["c"] > levels["b"] > levels["a"]
+
+    def test_aggregation_lifts_stratum(self):
+        levels = assign_strata(dependency_graph(
+            rules_of("c(X,N) <- agg<<N = count(Y)>> e(X,Y).")))
+        assert levels["c"] == levels["e"] + 1
+
+    def test_recursion_through_negation_rejected(self):
+        with pytest.raises(StratificationError):
+            assign_strata(dependency_graph(
+                rules_of("p(X) <- e(X), !q(X). q(X) <- e(X), !p(X).")))
+
+    def test_recursion_through_aggregation_rejected(self):
+        with pytest.raises(StratificationError):
+            assign_strata(dependency_graph(rules_of("""
+                p(X,N) <- agg<<N = count(Y)>> q(X,Y).
+                q(X,N) <- p(X,N).
+            """)))
+
+    def test_positive_recursion_fine(self):
+        levels = assign_strata(dependency_graph(
+            rules_of("r(X,Y) <- e(X,Y). r(X,Z) <- r(X,Y), e(Y,Z).")))
+        assert levels["r"] == 0
+
+    def test_negation_below_recursion(self):
+        # recursion over a negated *lower* predicate is stratifiable
+        levels = assign_strata(dependency_graph(rules_of("""
+            good(X) <- n(X), !bad(X).
+            r(X,Y) <- good(X), e(X,Y).
+            r(X,Z) <- r(X,Y), e(Y,Z).
+        """)))
+        assert levels["r"] >= levels["good"] >= 1
+
+
+class TestStratifyPartition:
+    def test_rules_grouped_by_level(self):
+        strata = stratify(rules_of("""
+            a(X) <- e(X).
+            b(X) <- n(X), !a(X).
+        """))
+        assert len(strata) == 2
+        assert strata[0].preds == frozenset({"a"})
+        assert strata[1].preds == frozenset({"b"})
+
+    def test_aggregate_rules_separated(self):
+        strata = stratify(rules_of("""
+            c(X,N) <- agg<<N = count(Y)>> e(X,Y).
+            big(X) <- c(X,N), N > 2.
+        """))
+        agg_stratum = next(s for s in strata if s.agg_rules)
+        assert agg_stratum.nonmonotone
+        assert not agg_stratum.has_negation
+
+    def test_nonmonotone_flag(self):
+        strata = stratify(rules_of("p(X) <- n(X), !q(X). q(X) <- e(X)."))
+        flags = {tuple(s.preds): s.nonmonotone for s in strata}
+        assert flags[("q",)] is False
+        assert flags[("p",)] is True

@@ -1,0 +1,100 @@
+"""Unification: textbook laws, checked concretely and property-based."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.terms import Atom, Constant, Expr, Variable
+from repro.datalog.unify import (
+    apply_subst,
+    apply_subst_atom,
+    unify_atoms,
+    unify_terms,
+    walk,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestTerms:
+    def test_var_with_constant(self):
+        subst = unify_terms(X, a)
+        assert walk(X, subst) == a
+
+    def test_constant_mismatch(self):
+        assert unify_terms(a, b) is None
+
+    def test_var_with_var(self):
+        subst = unify_terms(X, Y)
+        assert walk(X, subst) == walk(Y, subst)
+
+    def test_occurs_check(self):
+        assert unify_terms(X, Expr("+", X, Constant(1))) is None
+
+    def test_expr_structural(self):
+        left = Expr("+", X, Constant(1))
+        right = Expr("+", a, Constant(1))
+        subst = unify_terms(left, right)
+        assert walk(X, subst) == a
+
+    def test_expr_op_mismatch(self):
+        assert unify_terms(Expr("+", X, a), Expr("-", X, a)) is None
+
+    def test_chained_bindings(self):
+        subst = unify_terms(X, Y)
+        subst = unify_terms(Y, a, subst)
+        assert walk(X, subst) == a
+
+
+class TestAtoms:
+    def test_basic(self):
+        subst = unify_atoms(Atom("p", (X, a)), Atom("p", (b, Y)))
+        assert walk(X, subst) == b and walk(Y, subst) == a
+
+    def test_pred_mismatch(self):
+        assert unify_atoms(Atom("p", (X,)), Atom("q", (X,))) is None
+
+    def test_arity_mismatch(self):
+        assert unify_atoms(Atom("p", (X,)), Atom("p", (X, Y))) is None
+
+    def test_shared_variable(self):
+        assert unify_atoms(Atom("p", (X, X)), Atom("p", (a, b))) is None
+        subst = unify_atoms(Atom("p", (X, X)), Atom("p", (a, a)))
+        assert walk(X, subst) == a
+
+    def test_apply_subst_atom(self):
+        subst = {"X": a}
+        assert apply_subst_atom(Atom("p", (X, Y)), subst) == Atom("p", (a, Y))
+
+
+terms_strategy = st.recursive(
+    st.one_of(
+        st.sampled_from([X, Y, Z]),
+        st.integers(-5, 5).map(Constant),
+        st.sampled_from(["a", "b"]).map(Constant),
+    ),
+    lambda children: st.builds(
+        Expr, st.sampled_from(["+", "-"]), children, children),
+    max_leaves=6,
+)
+
+
+@given(terms_strategy, terms_strategy)
+@settings(max_examples=150, deadline=None)
+def test_property_unifier_actually_unifies(left, right):
+    subst = unify_terms(left, right)
+    if subst is not None:
+        assert apply_subst(left, subst) == apply_subst(right, subst)
+
+
+@given(terms_strategy, terms_strategy)
+@settings(max_examples=150, deadline=None)
+def test_property_symmetry(left, right):
+    forward = unify_terms(left, right)
+    backward = unify_terms(right, left)
+    assert (forward is None) == (backward is None)
+
+
+@given(terms_strategy)
+@settings(max_examples=60, deadline=None)
+def test_property_self_unification(term):
+    assert unify_terms(term, term) is not None

@@ -1,0 +1,172 @@
+"""Binder on LBTrust (section 5.1): syntax, semantics, the pull rewrite."""
+
+import pytest
+
+from repro.datalog.errors import SafetyError
+from repro.datalog.terms import Quote, Rule, Variable
+from repro.languages.binder import BinderContext, parse_binder
+from repro.workspace.workspace import Workspace
+
+
+class TestParsing:
+    def test_plain_rule_with_colon_dash(self):
+        (rule,) = parse_binder("access(P,O,read) :- good(P), object(O).")
+        assert rule.head.pred == "access"
+
+    def test_says_literal_becomes_quoted_pattern(self):
+        """Paper rule b2 → the bex1' translation."""
+        (rule,) = parse_binder("access(P,O,read) :- bob says access(P,O,read).")
+        says = rule.body[0].atom
+        assert says.pred == "says"
+        assert says.args[0].value == "bob"
+        quote = says.args[2]
+        assert isinstance(quote, Quote)
+        assert quote.pattern.heads[0].functor == "access"
+
+    def test_variable_speaker(self):
+        (rule,) = parse_binder("trust(X) :- W says vouch(X), knows(W).")
+        says = rule.body[0].atom
+        assert says.args[0] == Variable("W")
+
+    def test_mixed_arrow_styles(self):
+        statements = parse_binder("a(X) :- b(X). c(X) <- d(X).")
+        assert len(statements) == 2
+
+
+class TestContext:
+    def test_local_policy(self, make_system):
+        system = make_system("plaintext")
+        alice = system.create_principal("alice")
+        context = BinderContext(alice)
+        context.load("""
+            good(carol).
+            object(f1).
+            access(P,O,read) :- good(P), object(O).
+        """)
+        assert alice.tuples("access") == {("carol", "f1", "read")}
+
+    def test_says_import_end_to_end(self, make_system):
+        """Paper rule b2: alice imports access tuples bob says."""
+        system = make_system("hmac")
+        alice = system.create_principal("alice")
+        bob = system.create_principal("bob")
+        BinderContext(alice).load(
+            "access(P,O,read) :- bob says access(P,O,read).")
+        bob.says(alice, 'access("dave","f2","read").')
+        system.run()
+        assert ("dave", "f2", "read") in alice.tuples("access")
+
+    def test_untrusted_speaker_rejected_with_authorization(self, make_system):
+        """Plain says1 activates anything said; the paper's architecture
+        gates it with the mayWrite meta-constraint (section 4.1)."""
+        system = make_system("hmac", authorization=True)
+        alice = system.create_principal("alice")
+        bob = system.create_principal("bob")
+        carol = system.create_principal("carol")
+        alice.grant_write(bob, "access")
+        BinderContext(alice).load(
+            "access(P,O,read) :- bob says access(P,O,read).")
+        carol.says(alice, 'access("dave","f2","read").')
+        report = system.run()
+        assert report.rejected == 1
+        assert alice.tuples("access") == set()
+        bob.says(alice, 'access("erin","f3","read").')
+        system.run()
+        assert ("erin", "f3", "read") in alice.tuples("access")
+
+    def test_universe_guard_for_paper_b1(self, make_system):
+        """Paper rule b1 is not range-restricted; the guard fixes it."""
+        system = make_system("plaintext")
+        alice = system.create_principal("alice")
+        strict = BinderContext(alice)
+        with pytest.raises(SafetyError):
+            strict.load("access(P,O,read) :- good(P).")
+        guarded = BinderContext(alice, universe_guard="object")
+        guarded.load("""
+            good(carol). object(f1). object(f2).
+            access(P,O,read) :- good(P).
+        """)
+        assert alice.tuples("access") == {
+            ("carol", "f1", "read"), ("carol", "f2", "read")}
+
+    def test_publish_pushes_derived_tuples(self, make_system):
+        system = make_system("hmac")
+        alice = system.create_principal("alice")
+        bob = system.create_principal("bob")
+        bob_context = BinderContext(bob)
+        bob_context.load("good(dave). vouch(X) :- good(X).")
+        bob_context.publish("vouch", 1, alice)
+        BinderContext(alice).load("trusted(X) :- bob says vouch(X).")
+        system.run()
+        assert alice.tuples("trusted") == {("dave",)}
+
+
+class TestPullRewrite:
+    """pull0/pull1 (section 5.1): imports become requests + responses."""
+
+    def test_full_pull_cycle(self, make_system):
+        system = make_system("hmac")
+        alice = system.create_principal("alice")
+        bob = system.create_principal("bob")
+        # bob has data but no push rule — only the pull responder
+        bob.assert_fact("rating", ("acme", "good"))
+        bob_context = BinderContext(bob)
+        bob_context.install_pull()
+        # alice's policy imports bob's ratings; pull0 generates the request
+        alice_context = BinderContext(alice)
+        alice_context.install_pull()
+        alice_context.load("approved(C) :- bob says rating(C, good).")
+        report = system.run()
+        assert alice.tuples("approved") == {("acme",)}
+        # a request actually crossed the network
+        assert any(f[2] is not None for f in alice.tuples("says"))
+
+    def test_pull_only_requests_matching_facts(self, make_system):
+        system = make_system("plaintext")
+        alice = system.create_principal("alice")
+        bob = system.create_principal("bob")
+        bob.assert_fact("rating", ("acme", "good"))
+        bob.assert_fact("rating", ("globex", "bad"))
+        bob.assert_fact("unrelated", ("noise",))
+        BinderContext(bob).install_pull()
+        alice_context = BinderContext(alice)
+        alice_context.install_pull()
+        alice_context.load("approved(C) :- bob says rating(C, good).")
+        system.run()
+        assert alice.tuples("approved") == {("acme",)}
+        # only rating facts were shipped back, not `unrelated`
+        activated = {
+            bob.workspace.rule_text(f[2])
+            for f in alice.tuples("says") if f[0] == "bob"
+        }
+        assert not any("unrelated" in text for text in activated)
+
+    def test_no_request_to_self(self, make_system):
+        system = make_system("plaintext")
+        alice = system.create_principal("alice")
+        context = BinderContext(alice)
+        context.install_pull()
+        context.load("ok(X) :- alice says good(X).")
+        system.run()
+        requests = [f for f in alice.tuples("says")
+                    if f[1] == "alice" and f[0] == "alice"]
+        # pull0's X != me guard: no self-request generated
+        assert all(
+            "request" not in alice.workspace.rule_text(f[2])
+            for f in requests
+        )
+
+    def test_pull_responds_to_later_facts(self, make_system):
+        """Continuous semantics: data arriving after the request flows."""
+        system = make_system("plaintext")
+        alice = system.create_principal("alice")
+        bob = system.create_principal("bob")
+        BinderContext(bob).install_pull()
+        alice_context = BinderContext(alice)
+        alice_context.install_pull()
+        alice_context.load("approved(C) :- bob says rating(C, good).")
+        system.run()
+        assert alice.tuples("approved") == set()
+        bob.assert_fact("rating", ("late", "good"))
+        system.run()
+        assert alice.tuples("approved") == {("late",)}

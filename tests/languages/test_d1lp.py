@@ -1,0 +1,76 @@
+"""D1LP statement front-end."""
+
+import pytest
+
+from repro.datalog.errors import ConstraintViolation, ParseError
+from repro.languages.d1lp import run_policy, run_statement
+
+
+def system_with(make_system, names):
+    system = make_system("plaintext", delegation=True)
+    principals = {n: system.create_principal(n) for n in names}
+    for principal in principals.values():
+        principal.load("permission(A) -> prin(A). creditOK(C) -> string(C).")
+    return system, principals
+
+
+class TestDelegateStatements:
+    def test_plain_delegate(self, make_system):
+        system, ps = system_with(make_system, ["alice", "bob"])
+        run_statement(ps["alice"], "delegate permission to bob")
+        assert ("alice", "bob", "permission") in ps["alice"].tuples("delegates")
+
+    def test_delegate_with_depth(self, make_system):
+        system, ps = system_with(make_system, ["alice", "bob", "carol"])
+        run_statement(ps["alice"], "delegate permission to bob depth 0.")
+        system.run()
+        with pytest.raises(ConstraintViolation):
+            ps["bob"].delegate("carol", "permission")
+
+    def test_delegate_with_width(self, make_system):
+        system, ps = system_with(make_system, ["alice", "bob", "eve"])
+        run_statement(ps["alice"], "delegate permission to bob width bob")
+        with pytest.raises(ConstraintViolation):
+            ps["alice"].delegate("eve", "permission")
+
+    def test_unknown_statement(self, make_system):
+        _, ps = system_with(make_system, ["alice"])
+        with pytest.raises(ParseError):
+            run_statement(ps["alice"], "frobnicate the permissions")
+
+
+class TestThresholdStatements:
+    def test_threshold(self, make_system):
+        system, ps = system_with(make_system, ["bank", "b1", "b2", "b3"])
+        bank = ps["bank"]
+        run_statement(bank, "threshold 2 of creditBureau on creditOK")
+        for name in ("b1", "b2", "b3"):
+            bank.workspace.assert_fact("pringroup", (name, "creditBureau"))
+        ps["b1"].says(bank, 'creditOK("acme").')
+        system.run()
+        assert bank.tuples("creditOKOK") == set()
+        ps["b2"].says(bank, 'creditOK("acme").')
+        system.run()
+        assert bank.tuples("creditOKOK") == {("acme",)}
+
+    def test_weighted_threshold(self, make_system):
+        system, ps = system_with(make_system, ["bank", "big", "small"])
+        bank = ps["bank"]
+        run_statement(bank, "weighted threshold 3 of creditBureau on creditOK")
+        for name, weight in (("big", 3), ("small", 1)):
+            bank.workspace.assert_fact("pringroup", (name, "creditBureau"))
+            bank.workspace.assert_fact("weight", (name, weight))
+        ps["small"].says(bank, 'creditOK("acme").')
+        system.run()
+        assert bank.tuples("creditOKOK") == set()
+        ps["big"].says(bank, 'creditOK("acme").')
+        system.run()
+        assert bank.tuples("creditOKOK") == {("acme",)}
+
+    def test_run_policy_multiple_statements(self, make_system):
+        system, ps = system_with(make_system, ["alice", "bob"])
+        run_policy(ps["alice"], """
+            delegate permission to bob depth 1.
+            threshold 2 of creditBureau on creditOK.
+        """)
+        assert ("alice", "bob", "permission") in ps["alice"].tuples("delegates")

@@ -1,0 +1,101 @@
+"""The meta-model (Figure 1) as an executable schema.
+
+E2 in the experiment index: the paper's Figure 1 is a specification; here
+we check our reification satisfies it as *dynamic constraints* in a live
+workspace.
+"""
+
+from repro.datalog.parser import parse_rule
+from repro.meta.model import (
+    ACTIVE_PRED,
+    ALL_META_PREDS,
+    META_MODEL_DECLARATIONS,
+    PAPER_META_PREDS,
+)
+from repro.workspace.workspace import Workspace
+
+
+class TestSchemaSets:
+    def test_paper_relations_all_present(self):
+        expected = {
+            "rule", "head", "body", "atom", "functor", "arg", "negated",
+            "term", "variable", "vname", "constant", "value",
+            "predicate", "pname",
+        }
+        assert PAPER_META_PREDS == expected
+
+    def test_extensions_documented(self):
+        assert {"arity", "factrule", "quoteterm"} <= ALL_META_PREDS
+
+    def test_active_is_separate(self):
+        assert ACTIVE_PRED not in ALL_META_PREDS
+
+
+class TestDeclarationsHold:
+    def test_reified_rules_satisfy_figure_1(self):
+        """Load Figure 1 as constraints, then activate assorted rules; the
+        constraints must hold over the reified meta facts."""
+        workspace = Workspace("w")
+        workspace.load(META_MODEL_DECLARATIONS)
+        workspace.load("""
+            p(X) <- q(X), !r(X).
+            s(X,Y) <- p(X), t(X,Y).
+            base("k").
+        """)
+        workspace.add_rule(parse_rule("u(U) <- says(U,me,[| ok(C). |])."))
+        # a violated Figure 1 constraint would have raised on commit
+        assert workspace.tuples("rule")
+        assert workspace.tuples("head")
+        assert workspace.tuples("functor")
+
+    def test_head_body_reference_reified_rules(self):
+        workspace = Workspace("w")
+        ref = workspace.add_rule("p(X) <- q(X).")
+        heads = {f for f in workspace.tuples("head") if f[0] == ref}
+        bodies = {f for f in workspace.tuples("body") if f[0] == ref}
+        assert len(heads) == 1 and len(bodies) == 1
+
+    def test_predicate_contains_workspace_preds(self):
+        # paper: "a unique entry for each predicate defined in the
+        # workspace (including predicate)"
+        workspace = Workspace("w")
+        workspace.load("p(X) <- q(X). base(1).")
+        pred_names = {f[0] for f in workspace.tuples("predicate")}
+        assert {"p", "q", "base"} <= pred_names
+        assert "predicate" in pred_names
+
+    def test_pname_identity(self):
+        workspace = Workspace("w")
+        workspace.load("p(X) <- q(X).")
+        for name, pname in workspace.tuples("pname"):
+            assert name == pname
+
+
+class TestReflection:
+    def test_rules_can_query_program_structure(self):
+        """Reflection: an active rule reads the meta-model."""
+        workspace = Workspace("w")
+        workspace.load("""
+            p(X) <- q(X).
+            p2(X) <- q(X), r(X).
+            bodycount(R,N) <- agg<<N = count(A)>> body(R,A).
+        """)
+        counts = {n for (_, n) in workspace.tuples("bodycount")}
+        assert {1, 2} <= counts
+
+    def test_meta_constraint_blocks_bad_program(self):
+        """A meta-constraint restricting allowable programs (section 3.3)."""
+        import pytest
+        from repro.datalog.errors import ConstraintViolation
+
+        workspace = Workspace("w")
+        # forbid any rule whose body reads the predicate `secret`
+        workspace.add_constraint(
+            'rule(R), body(R,A), functor(A,"secret") -> banned().')
+        workspace.load("ok(X) <- pub(X).")       # fine
+        with pytest.raises(ConstraintViolation):
+            workspace.load("leak(X) <- secret(X).")
+        # the offending rule was rolled back entirely
+        assert all(
+            "leak" not in str(f) for f in workspace.tuples("functor")
+        )

@@ -1,0 +1,146 @@
+"""Quote compilation — including the paper's own section 3.3 example."""
+
+from repro.datalog.parser import parse_statements
+from repro.datalog.terms import (
+    Atom,
+    BuiltinCall,
+    Comparison,
+    Constant,
+    Constraint,
+    Literal,
+    Rule,
+    Variable,
+)
+from repro.datalog.builtins import standard_registry
+from repro.meta.quote import compile_constraint, compile_rule
+
+
+def literals_of(items):
+    return [(i.atom.pred, i.atom.args) for i in items if isinstance(i, Literal)]
+
+
+def pred_sequence(items):
+    return [i.atom.pred for i in items if isinstance(i, Literal)]
+
+
+class TestPaperTranslation:
+    def test_section_3_3_owner_access(self):
+        """The paper's worked translation:
+
+        owner(U, [| A <- P(T2*), A*. |]) -> access(U,P,read).
+            ⇒ owner(U,R1), rule(R1), body(R1,A1), atom(A1), functor(A1,P)
+            -> access(U,P,read).
+        """
+        source = 'owner(U, [| A <- P(T2*), A*. |]) -> access(U,P,"read").'
+        constraint = parse_statements(source)[0]
+        compiled = compile_constraint(constraint, "alice", None)
+        preds = pred_sequence(compiled.lhs[0])
+        assert preds[0] == "owner"
+        assert "rule" in preds
+        assert "body" in preds
+        assert "atom" in preds
+        assert "functor" in preds
+        # the bare head metavar A imposes its own head/atom joins at most;
+        # the functor join must bind the same P used on the RHS
+        functor = next(i for i in compiled.lhs[0]
+                       if isinstance(i, Literal) and i.atom.pred == "functor")
+        assert functor.atom.args[1] == Variable("P")
+        # no arity constraint: T2* is a star
+        body_atom_var = functor.atom.args[0]
+        arities = [i for i in compiled.lhs[0]
+                   if isinstance(i, Literal) and i.atom.pred == "arity"
+                   and i.atom.args[0] == body_atom_var]
+        assert arities == []
+
+    def test_fact_pattern_requires_factrule_and_arity(self):
+        source = 'p(U,C) <- says(U,me,[| creditOK(C). |]).'
+        rule = parse_statements(source)[0]
+        compiled = compile_rule(rule, "bank", None)
+        preds = pred_sequence(compiled.body)
+        assert "factrule" in preds
+        assert "arity" in preds
+        value = next(i for i in compiled.body
+                     if isinstance(i, Literal) and i.atom.pred == "value")
+        assert value.atom.args[1] == Variable("C")
+
+    def test_rule_pattern_no_factrule(self):
+        source = "p(U) <- says(U,me,[| A <- q(X), A*. |])."
+        compiled = compile_rule(parse_statements(source)[0], "alice", None)
+        assert "factrule" not in pred_sequence(compiled.body)
+
+    def test_anonymous_positions_unconstrained(self):
+        source = "p(U) <- says(U,me,[| q(_,X). |])."
+        compiled = compile_rule(parse_statements(source)[0], "alice", None)
+        args = [i for i in compiled.body
+                if isinstance(i, Literal) and i.atom.pred == "arg"]
+        # only position 1 (X) emits an arg join; position 0 is don't-care
+        assert len(args) == 1
+        assert args[0].atom.args[1] == Constant(1)
+
+    def test_eq_pattern_binding(self):
+        source = "p(R) <- active(R), R = [| q(X) <- A*. |]."
+        compiled = compile_rule(parse_statements(source)[0], "alice", None)
+        rule_literal = next(i for i in compiled.body
+                            if isinstance(i, Literal) and i.atom.pred == "rule")
+        assert rule_literal.atom.args[0] == Variable("R")
+
+    def test_negated_pattern_atom_emits_negated(self):
+        source = "p(U) <- says(U,me,[| h(X) <- !q(X). |])."
+        compiled = compile_rule(parse_statements(source)[0], "alice", None)
+        assert "negated" in pred_sequence(compiled.body)
+
+
+class TestMeResolution:
+    def test_me_in_atom_args(self):
+        rule = parse_statements("p(X) <- says(me,X,R), q(R).")[0]
+        compiled = compile_rule(rule, "alice", None)
+        says = compiled.body[0]
+        assert says.atom.args[0] == Constant("alice")
+
+    def test_me_inside_quote(self):
+        rule = parse_statements("p(U) <- says(U,me,[| ok(me). |]).")[0]
+        compiled = compile_rule(rule, "alice", None)
+        values = [i for i in compiled.body
+                  if isinstance(i, Literal) and i.atom.pred == "value"]
+        assert any(i.atom.args[1] == Constant("alice") for i in values)
+
+    def test_me_in_head_template(self):
+        rule = parse_statements("says(me,U,[| d(me,U). |]) <- t(U).")[0]
+        compiled = compile_rule(rule, "alice", None)
+        quote = compiled.heads[0].args[2]
+        assert quote.pattern.heads[0].args[0] == Constant("alice")
+
+    def test_me_in_comparison(self):
+        rule = parse_statements("p(X) <- q(X), X != me.")[0]
+        compiled = compile_rule(rule, "alice", None)
+        comparison = compiled.body[1]
+        assert comparison.right == Constant("alice")
+
+
+class TestBuiltinResolution:
+    def test_builtin_literal_becomes_call(self):
+        registry = standard_registry()
+        rule = parse_statements("p(X,N) <- q(X), strlen(X,N).")[0]
+        compiled = compile_rule(rule, None, registry)
+        assert isinstance(compiled.body[1], BuiltinCall)
+        assert compiled.body[1].name == "strlen"
+
+    def test_non_builtin_stays_literal(self):
+        registry = standard_registry()
+        rule = parse_statements("p(X) <- mystery(X).")[0]
+        compiled = compile_rule(rule, None, registry)
+        assert isinstance(compiled.body[0], Literal)
+
+    def test_negated_builtin_rejected(self):
+        import pytest
+        from repro.datalog.errors import SafetyError
+        registry = standard_registry()
+        rule = parse_statements("p(X) <- q(X), !strlen(X,3).")[0]
+        with pytest.raises(SafetyError):
+            compile_rule(rule, None, registry)
+
+    def test_constraint_sides_compiled(self):
+        registry = standard_registry()
+        constraint = parse_statements("p(N) -> int(N).")[0]
+        compiled = compile_constraint(constraint, None, registry)
+        assert isinstance(compiled.rhs[0][0], BuiltinCall)

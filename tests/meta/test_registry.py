@@ -1,0 +1,166 @@
+"""Rule interning and Figure 1 reification."""
+
+import pytest
+
+from repro.datalog.errors import ReproError, SafetyError
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import PatternValue, RuleRef
+from repro.meta.model import ALL_META_PREDS, PAPER_META_PREDS
+from repro.meta.registry import RuleRegistry, is_open_fact_pattern
+
+
+class TestInterning:
+    def setup_method(self):
+        self.registry = RuleRegistry()
+
+    def test_same_rule_same_ref(self):
+        left = self.registry.intern(parse_rule("p(X) <- q(X)."))
+        right = self.registry.intern(parse_rule("p(X) <- q(X)."))
+        assert left == right
+        assert len(self.registry) == 1
+
+    def test_alpha_variants_share_ref(self):
+        left = self.registry.intern(parse_rule("p(X,Y) <- q(X,Y)."))
+        right = self.registry.intern(parse_rule("p(A,B) <- q(A,B)."))
+        assert left == right
+
+    def test_different_rules_different_refs(self):
+        left = self.registry.intern(parse_rule("p(X) <- q(X)."))
+        right = self.registry.intern(parse_rule("p(X) <- r(X)."))
+        assert left != right
+
+    def test_rule_of_round_trip(self):
+        rule = parse_rule('access(P,O,"read") <- good(P), object(O).')
+        ref = self.registry.intern(rule)
+        assert self.registry.rule_of(ref) == rule
+
+    def test_canonical_text_reparses_to_same_ref(self):
+        ref = self.registry.intern(parse_rule("p(Xyz) <- q(Xyz, 42)."))
+        text = self.registry.canonical_text(ref)
+        assert self.registry.intern(parse_rule(text)) == ref
+
+    def test_unknown_ref_rejected(self):
+        with pytest.raises(ReproError):
+            self.registry.rule_of(RuleRef(999))
+
+    def test_me_rules_rejected(self):
+        with pytest.raises(SafetyError):
+            self.registry.intern(parse_rule("p(X) <- says(me,X)."))
+
+    def test_me_inside_quote_rejected(self):
+        with pytest.raises(SafetyError):
+            self.registry.intern(
+                parse_rule("p(U) <- says(U,X,[| ok(me). |])."))
+
+    def test_refs_in_value_finds_nested(self):
+        ref = self.registry.intern(parse_rule("p(1)."))
+        assert list(self.registry.refs_in_value(ref)) == [ref]
+        assert list(self.registry.refs_in_value(("a", (ref, 1)))) == [ref]
+        assert list(self.registry.refs_in_value("plain")) == []
+
+
+class TestReification:
+    def setup_method(self):
+        self.registry = RuleRegistry()
+
+    def facts_for(self, source):
+        ref = self.registry.intern(parse_rule(source))
+        return ref, self.registry.meta_facts(ref)
+
+    def preds(self, facts):
+        return {pred for pred, _ in facts}
+
+    def test_fact_rule(self):
+        ref, facts = self.facts_for('good("carol").')
+        assert ("rule", (ref,)) in facts
+        assert ("factrule", (ref,)) in facts
+        head_ids = [f[1][1] for f in facts if f[0] == "head"]
+        assert len(head_ids) == 1
+        atom_id = head_ids[0]
+        assert ("functor", (atom_id, "good")) in facts
+        assert ("arity", (atom_id, 1)) in facts
+        arg_facts = [f for f in facts if f[0] == "arg"]
+        assert len(arg_facts) == 1
+        term_id = arg_facts[0][1][2]
+        assert ("constant", (term_id,)) in facts
+        assert ("value", (term_id, "carol")) in facts
+
+    def test_rule_with_body(self):
+        ref, facts = self.facts_for("p(X) <- q(X), !r(X).")
+        assert ("factrule", (ref,)) not in facts
+        body_atoms = [f[1][1] for f in facts if f[0] == "body"]
+        assert len(body_atoms) == 2
+        negated = [f[1][0] for f in facts if f[0] == "negated"]
+        assert len(negated) == 1
+
+    def test_variables_reified(self):
+        _, facts = self.facts_for("p(X) <- q(X).")
+        names = {f[1][1] for f in facts if f[0] == "vname"}
+        assert names == {"X"}
+        assert any(f[0] == "variable" for f in facts)
+
+    def test_predicate_and_pname(self):
+        _, facts = self.facts_for("p(X) <- q(X).")
+        pred_names = {f[1][0] for f in facts if f[0] == "predicate"}
+        assert pred_names == {"p", "q"}
+        assert ("pname", ("p", "p")) in facts
+
+    def test_quote_arg_reified_as_pattern_value(self):
+        _, facts = self.facts_for('req([| ok(C). |]).')
+        quote_terms = [f[1][0] for f in facts if f[0] == "quoteterm"]
+        assert len(quote_terms) == 1
+        values = [f for f in facts if f[0] == "value"]
+        assert any(isinstance(f[1][1], PatternValue) for f in values)
+
+    def test_only_known_meta_preds_emitted(self):
+        _, facts = self.facts_for(
+            "active([| a(R) <- s(U,R), R = [| P(T*) <- A*. |]. |]) <- d(U,P).")
+        assert self.preds(facts) <= ALL_META_PREDS | PAPER_META_PREDS
+
+    def test_meta_facts_stable(self):
+        ref, first = self.facts_for("p(X) <- q(X).")
+        again = self.registry.meta_facts(ref)
+        assert first == again
+
+
+class TestTemplates:
+    def setup_method(self):
+        self.registry = RuleRegistry()
+
+    def eval_term(self, term, bindings):
+        from repro.datalog.runtime import EvalContext, eval_term
+        return eval_term(term, bindings, EvalContext())
+
+    def test_ground_fact_template(self):
+        rule = parse_rule('h(T) <- b(U,P,N), T = [| d(U,P,N-1). |].')
+        quote = rule.body[1].right
+        ref = self.registry.instantiate_template(
+            quote, {"U": "bob", "P": "perm", "N": 3}, self.eval_term)
+        generated = self.registry.canonical_text(ref)
+        assert generated == 'd("bob","perm",2).'
+
+    def test_unbound_vars_stay_variables(self):
+        rule = parse_rule("h(T) <- b(U), T = [| a(R) <- s(U,R). |].")
+        quote = rule.body[1].right
+        ref = self.registry.instantiate_template(quote, {"U": "bob"},
+                                                 self.eval_term)
+        text = self.registry.canonical_text(ref)
+        assert '"bob"' in text and "V0" in text
+
+    def test_functor_metavar_substituted(self):
+        rule = parse_rule("h(T) <- b(P), T = [| a(R) <- s(R), R = [| P(T2*) <- A*. |]. |].")
+        quote = rule.body[1].right
+        ref = self.registry.instantiate_template(quote, {"P": "perm"},
+                                                 self.eval_term)
+        assert '"perm"' in self.registry.canonical_text(ref) or \
+            "perm(" in self.registry.canonical_text(ref)
+
+    def test_open_fact_pattern_detection(self):
+        open_quote = parse_rule("h(T) <- b(X), T = [| p(Y). |].").body[1].right
+        closed_quote = parse_rule("h(T) <- b(X), T = [| p(X). |].").body[1].right
+        assert is_open_fact_pattern(open_quote.pattern)
+        # after substituting X the closed one is ground
+        from repro.meta.registry import _substitute_pattern
+        substituted = _substitute_pattern(closed_quote.pattern, {"X": 1},
+                                          self.eval_term)
+        assert not is_open_fact_pattern(substituted)

@@ -1,0 +1,95 @@
+"""Simulated network: FIFO delivery, latency, virtual clock, stats."""
+
+import pytest
+
+from repro.datalog.errors import NetworkError
+from repro.net.network import SimulatedNetwork
+
+
+def network(**kwargs):
+    net = SimulatedNetwork(**kwargs)
+    for node in ("a", "b", "c"):
+        net.add_node(node)
+    return net
+
+
+class TestDelivery:
+    def test_fifo_per_link(self):
+        net = network()
+        for i in range(5):
+            net.send("a", "b", f"m{i}".encode())
+        payloads = [p for _, _, p in net.deliver_all()]
+        assert payloads == [f"m{i}".encode() for i in range(5)]
+
+    def test_unknown_node_rejected(self):
+        net = network()
+        with pytest.raises(NetworkError):
+            net.send("a", "zz", b"x")
+
+    def test_local_delivery_zero_latency(self):
+        net = network(default_latency=5.0)
+        net.send("a", "a", b"self")
+        net.deliver_all()
+        assert net.clock == 0.0
+
+    def test_clock_advances_with_latency(self):
+        net = network(default_latency=2.5)
+        net.send("a", "b", b"x")
+        net.deliver_all()
+        assert net.clock == 2.5
+
+    def test_arrival_order_across_links(self):
+        net = network()
+        net.set_latency("a", "b", 10.0)
+        net.set_latency("a", "c", 1.0)
+        net.send("a", "b", b"slow")
+        net.send("a", "c", b"fast")
+        deliveries = net.deliver_all()
+        assert [p for _, _, p in deliveries] == [b"fast", b"slow"]
+
+    def test_deliver_next_one_at_a_time(self):
+        net = network()
+        net.send("a", "b", b"1")
+        net.send("a", "b", b"2")
+        assert net.pending() == 2
+        assert net.deliver_next()[2] == b"1"
+        assert net.pending() == 1
+
+    def test_empty_deliver(self):
+        assert network().deliver_next() is None
+        assert network().deliver_all() == []
+
+    def test_jitter_is_deterministic_with_seed(self):
+        first = network(jitter=1.0, seed=7)
+        second = network(jitter=1.0, seed=7)
+        first.send("a", "b", b"x")
+        second.send("a", "b", b"x")
+        first.deliver_all()
+        second.deliver_all()
+        assert first.clock == second.clock
+
+
+class TestStats:
+    def test_message_and_byte_counters(self):
+        net = network()
+        net.send("a", "b", b"1234")
+        net.send("a", "b", b"56")
+        net.send("b", "c", b"x")
+        assert net.total.messages == 3
+        assert net.total.bytes == 7
+        link = net.link_stats("a", "b")
+        assert link.messages == 2 and link.bytes == 6
+        assert net.link_stats("c", "a").messages == 0
+
+    def test_reset(self):
+        net = network()
+        net.send("a", "b", b"x")
+        net.reset_stats()
+        assert net.total.messages == 0
+        assert net.link_stats("a", "b").messages == 0
+
+    def test_asymmetric_latency(self):
+        net = network()
+        net.set_latency("a", "b", 1.0, symmetric=False)
+        assert net.latency("a", "b") == 1.0
+        assert net.latency("b", "a") == net.default_latency

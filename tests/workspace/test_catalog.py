@@ -1,0 +1,77 @@
+"""Catalog: declarations, arity discipline, type harvesting."""
+
+import pytest
+
+from repro.datalog.errors import WorkspaceError
+from repro.datalog.parser import parse_atom, parse_statements
+from repro.workspace.catalog import Catalog, harvest_catalog
+
+
+class TestObservation:
+    def test_auto_declare_on_first_use(self):
+        catalog = Catalog()
+        info = catalog.observe_atom(parse_atom("p(X,Y)"))
+        assert info.arity == 2 and not info.declared
+
+    def test_arity_clash(self):
+        catalog = Catalog()
+        catalog.observe_atom(parse_atom("p(X,Y)"))
+        with pytest.raises(WorkspaceError):
+            catalog.observe_atom(parse_atom("p(X)"))
+
+    def test_partition_key_recorded(self):
+        catalog = Catalog()
+        info = catalog.observe_atom(parse_atom("export[U](V,R,S)"))
+        assert info.key_arity == 1 and info.arity == 4
+
+    def test_partition_key_clash(self):
+        catalog = Catalog()
+        catalog.observe_atom(parse_atom("export[U](V,R,S)"))
+        with pytest.raises(WorkspaceError):
+            catalog.observe_atom(parse_atom("export[U,V](R,S)"))
+
+    def test_fact_arity_check(self):
+        catalog = Catalog()
+        catalog.observe_atom(parse_atom("p(X,Y)"))
+        catalog.check_fact_arity("p", ("a", "b"))
+        with pytest.raises(WorkspaceError):
+            catalog.check_fact_arity("p", ("a",))
+        catalog.check_fact_arity("unknown", ("anything",))  # undeclared: ok
+
+    def test_declare_tuple_pred(self):
+        catalog = Catalog()
+        catalog.declare_tuple_pred("export", 4, 1)
+        with pytest.raises(WorkspaceError):
+            catalog.declare_tuple_pred("export", 3, 1)
+
+
+class TestTypeHarvesting:
+    def test_type_declaration_harvested(self):
+        statements = parse_statements(
+            "access(P,O,M) -> principal(P), object(O), mode(M).")
+        catalog = harvest_catalog(statements)
+        info = catalog.info("access")
+        assert info.declared
+        assert info.arg_types == ["principal", "object", "mode"]
+
+    def test_partial_types(self):
+        statements = parse_statements("p(X,Y) -> t(X).")
+        catalog = harvest_catalog(statements)
+        assert catalog.info("p").arg_types == ["t", None]
+
+    def test_non_declaration_shapes_ignored(self):
+        # constraint with a constant argument is not a type declaration
+        statements = parse_statements('p(X,"k") -> t(X).')
+        catalog = harvest_catalog(statements)
+        assert catalog.info("p").arg_types == [None, None]
+
+    def test_repeated_variable_not_a_declaration(self):
+        statements = parse_statements("p(X,X) -> t(X).")
+        catalog = harvest_catalog(statements)
+        assert catalog.info("p").arg_types == [None, None]
+
+    def test_rules_observed_too(self):
+        statements = parse_statements("p(X) <- q(X,Y), r(Y).")
+        catalog = harvest_catalog(statements)
+        assert catalog.info("q").arity == 2
+        assert catalog.info("r").arity == 1

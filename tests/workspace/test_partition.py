@@ -1,0 +1,68 @@
+"""Partitioning by currying (section 3.4)."""
+
+import pytest
+
+from repro.datalog.errors import WorkspaceError
+from repro.workspace.partition import (
+    currying_rule,
+    install_partition,
+    partition_contents,
+    partition_keys,
+)
+from repro.workspace.workspace import Workspace
+
+
+class TestCurryingRule:
+    def test_paper_shape(self):
+        assert currying_rule("p", 3) == "p'[X1](X2,X3) <- p(X1,X2,X3)."
+
+    def test_two_key_columns(self):
+        assert currying_rule("p", 4, key_arity=2) == \
+            "p'[X1,X2](X3,X4) <- p(X1,X2,X3,X4)."
+
+    def test_bad_key_arity(self):
+        with pytest.raises(WorkspaceError):
+            currying_rule("p", 2, key_arity=2)
+        with pytest.raises(WorkspaceError):
+            currying_rule("p", 2, key_arity=0)
+
+
+class TestInstallPartition:
+    def setup_method(self):
+        self.workspace = Workspace("w")
+        self.workspace.assert_facts("p", [
+            ("alice", "f1", "read"),
+            ("alice", "f2", "write"),
+            ("bob", "f1", "read"),
+        ])
+
+    def test_partitions_populated(self):
+        curried = install_partition(self.workspace, "p", 3)
+        assert curried == "p'"
+        assert partition_keys(self.workspace, "p'") == {("alice",), ("bob",)}
+        assert partition_contents(self.workspace, "p'", ("alice",)) == {
+            ("f1", "read"), ("f2", "write")}
+
+    def test_same_data_different_grouping(self):
+        # partitioning "does not change the set of data" (section 3.4)
+        install_partition(self.workspace, "p", 3)
+        flattened = {
+            key + value
+            for key in partition_keys(self.workspace, "p'")
+            for value in partition_contents(self.workspace, "p'", key)
+        }
+        assert flattened == self.workspace.tuples("p")
+
+    def test_incremental_maintenance(self):
+        install_partition(self.workspace, "p", 3)
+        self.workspace.assert_fact("p", ("carol", "f3", "read"))
+        assert ("carol",) in partition_keys(self.workspace, "p'")
+
+    def test_wrong_key_width_rejected(self):
+        install_partition(self.workspace, "p", 3)
+        with pytest.raises(WorkspaceError):
+            partition_contents(self.workspace, "p'", ("alice", "extra"))
+
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(WorkspaceError):
+            partition_keys(self.workspace, "nope'")

@@ -1,0 +1,55 @@
+"""Static type checking from declarations."""
+
+from repro.datalog.parser import parse_statements
+from repro.datalog.terms import Rule
+from repro.workspace.catalog import harvest_catalog
+from repro.workspace.typecheck import typecheck_program, typecheck_rule
+
+DECLS = """
+access(P,O,M) -> principal(P), object(O), mode(M).
+good(P) -> principal(P).
+size(O,N) -> object(O), int(N).
+"""
+
+
+def check(rule_source):
+    statements = parse_statements(DECLS + rule_source)
+    catalog = harvest_catalog(statements)
+    rules = [s for s in statements if isinstance(s, Rule)]
+    return typecheck_program(rules, catalog)
+
+
+class TestClean:
+    def test_well_typed_rule(self):
+        assert check("access(P,O,M) <- good(P), size(O,N), mode(M).") == []
+
+    def test_undeclared_predicates_unconstrained(self):
+        assert check("x(A) <- y(A), z(A).") == []
+
+    def test_repeated_consistent_use(self):
+        assert check("twice(P) <- good(P), access(P,O,M).") == []
+
+
+class TestClashes:
+    def test_principal_vs_object(self):
+        issues = check("oops(X) <- good(X), size(X,N).")
+        assert len(issues) == 1
+        assert issues[0].variable == "X"
+        assert set(issues[0].types) == {"principal", "object"}
+
+    def test_int_vs_principal(self):
+        issues = check("oops(X) <- good(X), size(O,X).")
+        assert issues and set(issues[0].types) == {"int", "principal"}
+
+    def test_int_compatible_with_number(self):
+        extra = "wt(O,N) -> object(O), number(N).\n"
+        statements = parse_statements(DECLS + extra +
+                                      "both(N) <- size(O,N), wt(O,N).")
+        catalog = harvest_catalog(statements)
+        rules = [s for s in statements if isinstance(s, Rule)]
+        assert typecheck_program(rules, catalog) == []
+
+    def test_issue_reports_rule_label(self):
+        issues = check("lbl: oops(X) <- good(X), size(X,N).")
+        assert issues[0].rule_label == "lbl"
+        assert "lbl" in str(issues[0])

@@ -1,0 +1,222 @@
+"""Workspace behaviour: loading, queries, transactions, activation loop."""
+
+import pytest
+
+from repro.datalog.errors import (
+    ActivationLimitError,
+    ConstraintViolation,
+    WorkspaceError,
+)
+from repro.datalog.parser import parse_rule
+from repro.workspace.workspace import Workspace
+
+
+class TestLoading:
+    def test_facts_rules_constraints(self):
+        workspace = Workspace("w")
+        workspace.load("""
+            base("a"). base("b").
+            derived(X) <- base(X).
+            derived(X) -> base(X).
+        """)
+        assert workspace.tuples("derived") == {("a",), ("b",)}
+
+    def test_incremental_fact_assertion(self):
+        workspace = Workspace("w")
+        workspace.load("d(X) <- b(X).")
+        workspace.assert_fact("b", ("a",))
+        assert workspace.tuples("d") == {("a",)}
+        workspace.assert_fact("b", ("c",))
+        assert workspace.tuples("d") == {("a",), ("c",)}
+
+    def test_rule_added_after_facts(self):
+        workspace = Workspace("w")
+        workspace.assert_fact("b", ("a",))
+        workspace.add_rule("d(X) <- b(X).")
+        assert workspace.tuples("d") == {("a",)}
+
+    def test_me_resolution(self):
+        workspace = Workspace("alice")
+        workspace.load('owner(me). mine(X) <- owned(me,X).')
+        assert workspace.tuples("owner") == {("alice",)}
+        workspace.assert_fact("owned", ("alice", "f"))
+        assert workspace.tuples("mine") == {("f",)}
+
+    def test_arity_clash_rejected(self):
+        workspace = Workspace("w")
+        workspace.load("p(X,Y) <- q(X,Y).")
+        with pytest.raises(WorkspaceError):
+            workspace.assert_fact("p", ("only-one",))
+
+    def test_fact_with_quote_becomes_ruleref(self):
+        from repro.datalog.terms import RuleRef
+        workspace = Workspace("w")
+        workspace.load('want([| data("x"). |]).')
+        ((ref,),) = workspace.tuples("want")
+        assert isinstance(ref, RuleRef)
+        assert workspace.rule_text(ref) == 'data("x").'
+
+
+class TestQueries:
+    def setup_method(self):
+        self.workspace = Workspace("w")
+        self.workspace.load("""
+            e("a","b"). e("b","c").
+            r(X,Y) <- e(X,Y).
+            r(X,Z) <- r(X,Y), e(Y,Z).
+        """)
+
+    def test_query_bindings(self):
+        rows = self.workspace.query('r("a",X)')
+        assert {row["X"] for row in rows} == {"b", "c"}
+
+    def test_query_with_negation(self):
+        rows = self.workspace.query('e(X,_), !r(X,"b")')
+        assert {row["X"] for row in rows} == {"b"}
+
+    def test_query_with_comparison(self):
+        rows = self.workspace.query('e(X,Y), X < "b"')
+        assert {row["X"] for row in rows} == {"a"}
+
+    def test_holds(self):
+        assert self.workspace.holds('r("a","c")')
+        assert not self.workspace.holds('r("c","a")')
+
+    def test_query_deduplicates(self):
+        rows = self.workspace.query("e(X,_)")
+        assert len(rows) == len({tuple(sorted(r.items())) for r in rows})
+
+
+class TestTransactions:
+    def test_violation_rolls_back_facts(self):
+        workspace = Workspace("w")
+        workspace.add_constraint("p(X) -> q(X).")
+        with pytest.raises(ConstraintViolation):
+            workspace.assert_fact("p", ("a",))
+        assert workspace.tuples("p") == set()
+
+    def test_violation_rolls_back_derivations(self):
+        workspace = Workspace("w")
+        workspace.load("d(X) <- b(X). d(X) -> allowed(X).")
+        workspace.assert_fact("allowed", ("ok",))
+        workspace.assert_fact("b", ("ok",))
+        with pytest.raises(ConstraintViolation):
+            workspace.assert_fact("b", ("bad",))
+        assert workspace.tuples("d") == {("ok",)}
+        assert workspace.tuples("b") == {("ok",)}
+
+    def test_batch_transaction_atomic(self):
+        workspace = Workspace("w")
+        workspace.add_constraint("p(X) -> q(X).")
+        with pytest.raises(ConstraintViolation):
+            with workspace.transaction():
+                workspace.assert_fact("q", ("a",))
+                workspace.assert_fact("p", ("a",))
+                workspace.assert_fact("p", ("orphan",))
+        # everything in the failed transaction is gone, even the valid part
+        assert workspace.tuples("q") == set()
+
+    def test_audit_survives_rollback(self):
+        workspace = Workspace("w")
+        workspace.add_constraint("p(X) -> q(X).")
+        with pytest.raises(ConstraintViolation):
+            workspace.assert_fact("p", ("a",))
+        assert any(e.kind == "constraint_violation" for e in workspace.audit)
+
+    def test_rule_rollback(self):
+        workspace = Workspace("w")
+        workspace.assert_fact("secretish", ("s",))
+        workspace.add_constraint(
+            'rule(R), body(R,A), functor(A,"secretish") -> never().')
+        with pytest.raises(ConstraintViolation):
+            workspace.add_rule("leak(X) <- secretish(X).")
+        assert workspace.tuples("leak") == set()
+        assert not workspace.holds('active(R), rule(R), body(R,A), functor(A,"secretish")')
+
+    def test_nested_transactions_flatten(self):
+        workspace = Workspace("w")
+        with workspace.transaction():
+            workspace.assert_fact("a", (1,))
+            with workspace.transaction():
+                workspace.assert_fact("b", (2,))
+        assert workspace.tuples("a") == {(1,)}
+        assert workspace.tuples("b") == {(2,)}
+
+
+class TestRetraction:
+    def test_retract_propagates(self):
+        workspace = Workspace("w")
+        workspace.load('e("a","b"). e("b","c"). r(X,Y) <- e(X,Y). '
+                       "r(X,Z) <- r(X,Y), e(Y,Z).")
+        workspace.retract_fact("e", ("b", "c"))
+        assert workspace.tuples("r") == {("a", "b")}
+
+    def test_retract_unknown_fact_rejected(self):
+        workspace = Workspace("w")
+        with pytest.raises(WorkspaceError):
+            workspace.retract_fact("e", ("nope", "nope"))
+
+    def test_retract_derived_fact_rejected(self):
+        workspace = Workspace("w")
+        workspace.load('e("a","b"). r(X,Y) <- e(X,Y).')
+        with pytest.raises(WorkspaceError):
+            workspace.retract_fact("r", ("a", "b"))
+
+    def test_deactivate_rule(self):
+        workspace = Workspace("w")
+        workspace.assert_fact("b", ("x",))
+        ref = workspace.add_rule("d(X) <- b(X).")
+        assert workspace.tuples("d") == {("x",)}
+        workspace.deactivate_rule(ref)
+        assert workspace.tuples("d") == set()
+        assert ref not in workspace.active_refs()
+
+
+class TestActivationLoop:
+    def test_derived_activation(self):
+        """Deriving active(R) activates R — code generation (section 3.3)."""
+        workspace = Workspace("w")
+        workspace.load("""
+            trigger("go").
+            active([| generated("yes"). |]) <- trigger("go").
+        """)
+        assert workspace.tuples("generated") == {("yes",)}
+
+    def test_chained_generation(self):
+        workspace = Workspace("w")
+        workspace.load("""
+            seed(3).
+            active([| countdown(N). |]) <- seed(N).
+            active([| countdown(N-1). |]) <- countdown(N), N > 0.
+        """)
+        assert workspace.tuples("countdown") == {(3,), (2,), (1,), (0,)}
+
+    def test_runaway_generation_capped(self):
+        workspace = Workspace("w", max_activation_rounds=20)
+        with pytest.raises(ActivationLimitError):
+            workspace.load("""
+                up(0).
+                active([| up(N+1). |]) <- up(N).
+            """)
+
+    def test_deactivation_of_generator_removes_generated(self):
+        workspace = Workspace("w")
+        ref = workspace.add_rule('active([| gen("a"). |]) <- on().')
+        workspace.assert_fact("on", ())
+        assert workspace.tuples("gen") == {("a",)}
+        workspace.retract_fact("on", ())
+        assert workspace.tuples("gen") == set()
+
+
+class TestPartitionedPredicates:
+    def test_partitioned_storage_flattens_keys(self):
+        workspace = Workspace("w")
+        workspace.load('''
+            prin("w"). prin("bob").
+            exp0: export[U1](U2,R) -> prin(U1), prin(U2), string(R).
+            export[U](me,R) <- outbox(U,R).
+        ''')
+        workspace.assert_fact("outbox", ("bob", "msg"))
+        assert workspace.tuples("export") == {("bob", "w", "msg")}
+        info = workspace.catalog.get("export")
+        assert info.key_arity == 1 and info.arity == 3
