@@ -5,9 +5,18 @@ every hop triggers del1 code generation, dd2b budget inference, and a
 says-propagated budget message — the full meta-programming path.
 """
 
-import pytest
+if __package__ in (None, ""):  # running as a script
+    import sys
+    from pathlib import Path
+    _root = Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
+
+from benchmarks import optional_pytest
+
+pytest = optional_pytest()
 
 from repro import LBTrustSystem
+from repro.bench import benchmark
 
 CHAIN = 6
 
@@ -28,6 +37,19 @@ def run_chain(system, principals):
     # the last link's budget must be 0
     last = principals[-1]
     assert any(row[3] == 0 for row in last.tuples("inferredDelDepth"))
+
+
+@benchmark("delegation_chain", group="delegation",
+           quick=[{"length": 3}],
+           full=[{"length": 3}, {"length": CHAIN}])
+def delegation_chain(case, length):
+    """Full meta-programming path: delegate hop-by-hop with depth budgets."""
+    system, principals = build_chain(length)
+    for principal in principals:
+        case.watch(principal.workspace.stats)
+    with case.measure():
+        run_chain(system, principals)
+    case.record(hops=length)
 
 
 @pytest.mark.benchmark(group="delegation-chain")
@@ -57,3 +79,8 @@ def test_delegated_fact_flow(benchmark):
         assert ("subject",) in principals[0].tuples("perm")
 
     benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    from repro.bench import standalone
+    raise SystemExit(standalone(__file__))

@@ -6,8 +6,17 @@ Semi-naive avoids re-deriving old facts each round, turning the quadratic
 re-derivation blowup into work linear in the output.
 """
 
-import pytest
+if __package__ in (None, ""):  # running as a script
+    import sys
+    from pathlib import Path
+    _root = Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
 
+from benchmarks import optional_pytest
+
+pytest = optional_pytest()
+
+from repro.bench import benchmark
 from repro.datalog.database import Database
 from repro.datalog.engine import evaluate
 from repro.datalog.naive import evaluate_naive
@@ -22,22 +31,40 @@ CHAIN = 60
 GRID = 8
 
 
-def chain_db() -> Database:
+def chain_db(size: int = None) -> Database:
     db = Database()
-    for i in range(CHAIN):
+    for i in range(size if size is not None else CHAIN):
         db.add("e", (i, i + 1))
     return db
 
 
-def grid_db() -> Database:
+def grid_db(size: int = None) -> Database:
+    size = size if size is not None else GRID
     db = Database()
-    for x in range(GRID):
-        for y in range(GRID):
-            if x + 1 < GRID:
+    for x in range(size):
+        for y in range(size):
+            if x + 1 < size:
                 db.add("e", ((x, y), (x + 1, y)))
-            if y + 1 < GRID:
+            if y + 1 < size:
                 db.add("e", ((x, y), (x, y + 1)))
     return db
+
+
+@benchmark("eval_strategies", group="engine",
+           quick=[{"strategy": "seminaive", "graph": "chain", "size": 40},
+                  {"strategy": "naive", "graph": "chain", "size": 40}],
+           full=[{"strategy": "seminaive", "graph": "chain", "size": CHAIN},
+                 {"strategy": "naive", "graph": "chain", "size": CHAIN},
+                 {"strategy": "seminaive", "graph": "grid", "size": GRID},
+                 {"strategy": "naive", "graph": "grid", "size": GRID}])
+def eval_strategies(case, strategy, graph, size):
+    """Naive vs semi-naive transitive closure (section 3.1 ablation)."""
+    evaluator = evaluate if strategy == "seminaive" else evaluate_naive
+    db = chain_db(size) if graph == "chain" else grid_db(size)
+    context = EvalContext(stats=case.stats)
+    with case.measure():
+        evaluator(RULES, db, context, stats=case.stats)
+    case.record(closure_size=len(db.tuples("r")))
 
 
 def _run(benchmark, evaluator, make_db):
@@ -68,3 +95,8 @@ def test_seminaive_grid(benchmark):
 @pytest.mark.benchmark(group="eval-grid")
 def test_naive_grid(benchmark):
     _run(benchmark, evaluate_naive, grid_db)
+
+
+if __name__ == "__main__":
+    from repro.bench import standalone
+    raise SystemExit(standalone(__file__))

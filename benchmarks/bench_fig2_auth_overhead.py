@@ -14,9 +14,39 @@ full series over k.  The *shape* claims under test:
 * time grows linearly in the number of messages.
 """
 
-import pytest
+if __package__ in (None, ""):  # running as a script
+    import sys
+    from pathlib import Path
+    _root = Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
 
-from .workloads import BENCH_MESSAGES, make_fig2_system, run_fig2_exchange
+from benchmarks import optional_pytest
+
+pytest = optional_pytest()
+
+from benchmarks.workloads import (
+    BENCH_MESSAGES,
+    make_fig2_system,
+    run_fig2_exchange,
+)
+from repro.bench import benchmark as bench_workload
+
+
+@bench_workload("fig2_auth_overhead", group="fig2-auth-overhead",
+                quick=[{"auth": "plaintext", "k": 25},
+                       {"auth": "hmac", "k": 25},
+                       {"auth": "rsa", "k": 10, "rsa_bits": 512}],
+                full=[{"auth": "plaintext", "k": BENCH_MESSAGES},
+                      {"auth": "hmac", "k": BENCH_MESSAGES},
+                      {"auth": "rsa", "k": BENCH_MESSAGES}])
+def fig2_auth_overhead(case, auth, k, rsa_bits=None):
+    """The paper's Figure 2 point: k signed+verified messages per direction."""
+    system, alice, bob = make_fig2_system(auth, rsa_bits)
+    case.watch(alice.workspace.stats)
+    case.watch(bob.workspace.stats)
+    with case.measure():
+        run_fig2_exchange(system, alice, bob, k)
+    case.record(messages=2 * k, per_message_us=case.elapsed / (2 * k) * 1e6)
 
 
 def _bench(benchmark, auth):
@@ -42,3 +72,8 @@ def test_fig2_hmac(benchmark):
 @pytest.mark.benchmark(group="fig2-auth-overhead")
 def test_fig2_rsa(benchmark):
     _bench(benchmark, "rsa")
+
+
+if __name__ == "__main__":
+    from repro.bench import standalone
+    raise SystemExit(standalone(__file__))

@@ -9,10 +9,19 @@ everything; magic-sets and tabled top-down only touch what the query
 needs.
 """
 
+if __package__ in (None, ""):  # running as a script
+    import sys
+    from pathlib import Path
+    _root = Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
+
 import random
 
-import pytest
+from benchmarks import optional_pytest
 
+pytest = optional_pytest()
+
+from repro.bench import benchmark
 from repro.datalog.database import Database
 from repro.datalog.engine import evaluate
 from repro.datalog.magic import query_magic
@@ -29,15 +38,42 @@ RELEVANT = 30      # nodes reachable from the query source
 IRRELEVANT = 400   # nodes in a component the query never touches
 
 
-def make_db() -> Database:
+def make_db(relevant=None, irrelevant=None) -> Database:
+    relevant = relevant if relevant is not None else RELEVANT
+    irrelevant = irrelevant if irrelevant is not None else IRRELEVANT
     rng = random.Random(5)
     db = Database()
-    for i in range(RELEVANT - 1):
+    for i in range(relevant - 1):
         db.add("e", (f"q{i}", f"q{i + 1}"))
-    irrelevant = [f"x{i}" for i in range(IRRELEVANT)]
-    for _ in range(IRRELEVANT * 3):
-        db.add("e", (rng.choice(irrelevant), rng.choice(irrelevant)))
+    nodes = [f"x{i}" for i in range(irrelevant)]
+    for _ in range(irrelevant * 3):
+        db.add("e", (rng.choice(nodes), rng.choice(nodes)))
     return db
+
+
+@benchmark("magic_point_query", group="engine",
+           quick=[{"strategy": "bottomup", "relevant": 20, "irrelevant": 150},
+                  {"strategy": "magic", "relevant": 20, "irrelevant": 150},
+                  {"strategy": "topdown", "relevant": 20, "irrelevant": 150}],
+           full=[{"strategy": "bottomup", "relevant": RELEVANT,
+                  "irrelevant": IRRELEVANT},
+                 {"strategy": "magic", "relevant": RELEVANT,
+                  "irrelevant": IRRELEVANT},
+                 {"strategy": "topdown", "relevant": RELEVANT,
+                  "irrelevant": IRRELEVANT}])
+def magic_point_query(case, strategy, relevant, irrelevant):
+    """Selective point query: full bottom-up vs magic-sets vs tabled top-down."""
+    db = make_db(relevant, irrelevant)
+    with case.measure():
+        if strategy == "bottomup":
+            evaluate(RULES, db, EvalContext(stats=case.stats),
+                     stats=case.stats)
+            answers = {t for t in db.tuples("r") if t[0] == "q0"}
+        elif strategy == "magic":
+            answers = query_magic(RULES, db, QUERY)
+        else:
+            answers = query_topdown(RULES, db, QUERY)
+    case.record(answers=len(answers))
 
 
 @pytest.mark.benchmark(group="magic-point-query")
@@ -72,3 +108,8 @@ def test_tabled_topdown(benchmark):
         return query_topdown(RULES, db, QUERY)
 
     benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    from repro.bench import standalone
+    raise SystemExit(standalone(__file__))

@@ -5,9 +5,18 @@ wall time through pytest-benchmark, and the messages/virtual-time scaling
 is printed by ``sendlog_scaling.py`` for EXPERIMENTS.md.
 """
 
-import pytest
+if __package__ in (None, ""):  # running as a script
+    import sys
+    from pathlib import Path
+    _root = Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
+
+from benchmarks import optional_pytest
+
+pytest = optional_pytest()
 
 from repro import LBTrustSystem
+from repro.bench import benchmark
 from repro.languages.sendlog import install_sendlog
 
 REACHABILITY = """
@@ -38,6 +47,20 @@ def converge(system, principals):
         assert len(reached | {name}) == size
 
 
+@benchmark("sendlog_ring", group="sendlog",
+           quick=[{"size": 4}],
+           full=[{"size": 4}, {"size": 6}, {"size": 8}])
+def sendlog_ring(case, size):
+    """SeNDlog reachability to convergence on an hmac-authenticated ring."""
+    system, principals = build_ring(size)
+    for principal in principals.values():
+        case.watch(principal.workspace.stats)
+    with case.measure():
+        converge(system, principals)
+    case.record(messages=system.network.total.messages,
+                bytes=system.network.total.bytes)
+
+
 def _bench(benchmark, size):
     def setup():
         return (build_ring(size),), {}
@@ -62,3 +85,8 @@ def test_ring_6(benchmark):
 @pytest.mark.benchmark(group="sendlog-ring")
 def test_ring_8(benchmark):
     _bench(benchmark, 8)
+
+
+if __name__ == "__main__":
+    from repro.bench import standalone
+    raise SystemExit(standalone(__file__))

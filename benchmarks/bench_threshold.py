@@ -4,8 +4,17 @@ Cost of the wd2 count as the bureau group grows: n bureaus each vouch for
 m subjects; the bank's aggregate recomputes per batch.
 """
 
-import pytest
+if __package__ in (None, ""):  # running as a script
+    import sys
+    from pathlib import Path
+    _root = Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
 
+from benchmarks import optional_pytest
+
+pytest = optional_pytest()
+
+from repro.bench import benchmark
 from repro.core.delegation import install_threshold
 from repro.datalog.parser import parse_rule
 from repro.meta.registry import RuleRegistry
@@ -36,6 +45,18 @@ def vote_all(workspace, refs, bureaus):
     assert len(workspace.tuples("approved")) == SUBJECTS
 
 
+@benchmark("threshold_scaling", group="threshold",
+           quick=[{"bureaus": 4}],
+           full=[{"bureaus": 4}, {"bureaus": 8}, {"bureaus": 16}])
+def threshold_scaling(case, bureaus):
+    """k-of-n aggregate recompute cost as the vouching group grows."""
+    workspace, refs, n = make_bank(bureaus)
+    case.watch(workspace.stats)
+    with case.measure():
+        vote_all(workspace, refs, n)
+    case.record(subjects=SUBJECTS)
+
+
 def _bench(benchmark, bureaus):
     def setup():
         return (make_bank(bureaus),), {}
@@ -60,3 +81,8 @@ def test_threshold_8_bureaus(benchmark):
 @pytest.mark.benchmark(group="threshold-scaling")
 def test_threshold_16_bureaus(benchmark):
     _bench(benchmark, 16)
+
+
+if __name__ == "__main__":
+    from repro.bench import standalone
+    raise SystemExit(standalone(__file__))

@@ -16,9 +16,13 @@ from __future__ import annotations
 import sys
 import time
 
-sys.path.insert(0, ".")  # allow `python benchmarks/fig2_sweep.py`
+if __package__ in (None, ""):  # running as a script
+    from pathlib import Path
+    _root = Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
 
 from benchmarks.workloads import make_fig2_system, run_fig2_exchange  # noqa: E402
+from repro.bench import benchmark  # noqa: E402
 
 SCHEMES = ("plaintext", "hmac", "rsa")
 
@@ -28,6 +32,21 @@ def measure(auth: str, k: int) -> float:
     start = time.perf_counter()
     run_fig2_exchange(system, alice, bob, k)
     return time.perf_counter() - start
+
+
+@benchmark("fig2_sweep", group="fig2-auth-overhead", repeats=2,
+           quick=[{"auth": "plaintext", "k": 250},
+                  {"auth": "hmac", "k": 250}],
+           full=[{"auth": auth, "k": k}
+                 for auth in SCHEMES for k in (250, 1000, 2000)])
+def fig2_sweep(case, auth, k):
+    """One point of the Figure 2 series: time vs number of messages."""
+    system, alice, bob = make_fig2_system(auth, rsa_bits=512)
+    case.watch(alice.workspace.stats)
+    case.watch(bob.workspace.stats)
+    with case.measure():
+        run_fig2_exchange(system, alice, bob, k)
+    case.record(messages=2 * k, per_message_us=case.elapsed / (2 * k) * 1e6)
 
 
 def main() -> None:

@@ -13,9 +13,32 @@ from __future__ import annotations
 import sys
 import time
 
-sys.path.insert(0, ".")
+if __package__ in (None, ""):  # running as a script
+    from pathlib import Path
+    _root = Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
 
 from benchmarks.bench_sendlog import build_ring  # noqa: E402
+from repro.bench import benchmark  # noqa: E402
+
+
+@benchmark("sendlog_convergence", group="sendlog", repeats=2,
+           quick=[{"size": 4}, {"size": 6}],
+           full=[{"size": size} for size in range(3, 11)])
+def sendlog_convergence(case, size):
+    """Rounds/messages/bytes/virtual-time to converge a reachability ring."""
+    system, principals = build_ring(size)
+    for principal in principals.values():
+        case.watch(principal.workspace.stats)
+    with case.measure():
+        report = system.run(max_rounds=100)
+    for name, principal in principals.items():
+        reached = {d for (s, d) in principal.tuples("reachable") if s == name}
+        assert len(reached | {name}) == size, (name, reached)
+    case.record(rounds=report.rounds,
+                messages=system.network.total.messages,
+                bytes=system.network.total.bytes,
+                virtual_time=report.virtual_time)
 
 
 def main() -> None:

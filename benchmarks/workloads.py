@@ -17,7 +17,14 @@ from __future__ import annotations
 
 import os
 
+if __package__ in (None, ""):  # running as a script
+    import sys
+    from pathlib import Path
+    _root = Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
+
 from repro import LBTrustSystem
+from repro.bench import benchmark
 
 BENCH_MESSAGES = int(os.environ.get("LBTRUST_BENCH_MESSAGES", "100"))
 BENCH_RSA_BITS = int(os.environ.get("LBTRUST_BENCH_RSA_BITS", "1024"))
@@ -52,3 +59,22 @@ def run_fig2_exchange(system, alice, bob, k: int) -> None:
 def fig2_point(auth: str, k: int, rsa_bits: int = None) -> None:
     system, alice, bob = make_fig2_system(auth, rsa_bits)
     run_fig2_exchange(system, alice, bob, k)
+
+
+@benchmark("fig2_single_message", group="fig2-auth-overhead",
+           quick=[{"auth": "plaintext"}, {"auth": "hmac"}],
+           full=[{"auth": "plaintext"}, {"auth": "hmac"},
+                 {"auth": "rsa", "rsa_bits": 512}])
+def fig2_single_message(case, auth, rsa_bits=None):
+    """Constant per-exchange overhead: one authenticated message each way."""
+    system, alice, bob = make_fig2_system(auth, rsa_bits or 512)
+    case.watch(alice.workspace.stats)
+    case.watch(bob.workspace.stats)
+    with case.measure():
+        run_fig2_exchange(system, alice, bob, 1)
+    case.record(messages=2)
+
+
+if __name__ == "__main__":
+    from repro.bench import standalone
+    raise SystemExit(standalone(__file__))

@@ -1,0 +1,33 @@
+"""The benchmark-orchestration subsystem.
+
+Gives every perf-sensitive PR a shared measurement substrate, in the
+spirit of SAFE's reproducible latency/throughput evaluations: a registry
+of named workloads (:func:`benchmark`), a calibrated timer
+(:mod:`~repro.bench.timer`), schema-versioned JSON artifacts
+(:mod:`~repro.bench.report`), and a regression-flagging compare mode
+(:mod:`~repro.bench.compare`), all fronted by the ``repro bench`` CLI
+(:mod:`~repro.bench.cli`).
+"""
+
+from .cli import main, standalone
+from .compare import Comparison, PointDelta, compare_artifacts
+from .registry import (
+    BenchError,
+    Workload,
+    benchmark,
+    get,
+    load_scripts,
+    registered,
+    select,
+)
+from .report import SCHEMA, load_artifact, load_artifacts, write_artifact
+from .runner import run_workloads
+from .timer import BenchCase, Measurement, time_workload
+
+__all__ = [
+    "BenchCase", "BenchError", "Comparison", "Measurement", "PointDelta",
+    "SCHEMA", "Workload", "benchmark", "compare_artifacts", "get",
+    "load_artifact", "load_artifacts", "load_scripts", "main", "registered",
+    "run_workloads", "select", "standalone", "time_workload",
+    "write_artifact",
+]

@@ -1,0 +1,103 @@
+"""Artifact diffing: flag perf regressions between two benchmark runs.
+
+Points are matched by workload name + canonicalized sweep parameters and
+compared on their best-of-N timing.  A point regresses when
+
+    current_best > baseline_best * (1 + threshold)
+
+with the default threshold generous (25%) because CI machines are noisy;
+optimization PRs comparing on one quiet machine can tighten it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class PointDelta:
+    """One matched point: baseline vs current best timing."""
+
+    name: str
+    params: dict
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline > 0 else float("inf")
+
+    def regressed(self, threshold: float) -> bool:
+        return self.current > self.baseline * (1.0 + threshold)
+
+    def describe(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return (f"{self.name}[{params}] {self.baseline * 1e3:.3f}ms -> "
+                f"{self.current * 1e3:.3f}ms ({self.ratio:.2f}x baseline)")
+
+
+@dataclass
+class Comparison:
+    """The full diff between a baseline and a current artifact set."""
+
+    deltas: list
+    missing_in_current: list
+    missing_in_baseline: list
+
+    def regressions(self, threshold: float) -> list:
+        return [d for d in self.deltas if d.regressed(threshold)]
+
+
+def _point_key(params: dict) -> str:
+    return json.dumps(params, sort_keys=True, default=str)
+
+
+def compare_artifacts(baseline: dict[str, dict], current: dict[str, dict],
+                      filter_names: Optional[set] = None) -> Comparison:
+    """Match artifacts by name and points by params; see module doc."""
+    deltas: list = []
+    missing_in_current: list = []
+    missing_in_baseline: list = []
+    names = set(baseline) | set(current)
+    if filter_names is not None:
+        names &= filter_names
+    for name in sorted(names):
+        base_art = baseline.get(name)
+        cur_art = current.get(name)
+        if base_art is None:
+            missing_in_baseline.append(name)
+            continue
+        if cur_art is None:
+            missing_in_current.append(name)
+            continue
+        base_points = {_point_key(p["params"]): p for p in base_art["points"]}
+        cur_points = {_point_key(p["params"]): p for p in cur_art["points"]}
+        for key in sorted(base_points):
+            if key not in cur_points:
+                missing_in_current.append(f"{name}{key}")
+                continue
+            deltas.append(PointDelta(
+                name=name,
+                params=base_points[key]["params"],
+                baseline=base_points[key]["best"],
+                current=cur_points[key]["best"],
+            ))
+    return Comparison(deltas, missing_in_current, missing_in_baseline)
+
+
+def format_comparison(comparison: Comparison, threshold: float) -> str:
+    lines = []
+    for delta in comparison.deltas:
+        marker = "REGRESSION" if delta.regressed(threshold) else "ok"
+        lines.append(f"  {marker:>10}  {delta.describe()}")
+    for name in comparison.missing_in_current:
+        lines.append(f"  {'MISSING':>10}  {name} (in baseline, not in current)")
+    for name in comparison.missing_in_baseline:
+        lines.append(f"  {'new':>10}  {name} (no baseline point)")
+    regressed = comparison.regressions(threshold)
+    lines.append(
+        f"compared {len(comparison.deltas)} points, "
+        f"{len(regressed)} regression(s) beyond {threshold:.0%}")
+    return "\n".join(lines)

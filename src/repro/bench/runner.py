@@ -1,0 +1,33 @@
+"""The run loop: sweep every selected workload, produce artifacts."""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Iterable, Optional, TextIO
+
+from .registry import Workload
+from .report import make_artifact
+from .timer import time_workload
+
+
+def run_workloads(workloads: Iterable[Workload], mode: str = "quick",
+                  out: Optional[TextIO] = None,
+                  progress: bool = True) -> dict[str, dict]:
+    """Run each workload's ``mode`` sweep; return artifacts by name."""
+    out = out if out is not None else sys.stdout
+    emit: Callable[[str], None] = (
+        (lambda line: print(line, file=out)) if progress else (lambda line: None))
+    artifacts: dict[str, dict] = {}
+    for workload in workloads:
+        emit(f"{workload.name} ({mode}, {len(workload.points(mode))} points)")
+        measurements = []
+        for params in workload.points(mode):
+            measurement = time_workload(workload, params)
+            measurements.append(measurement)
+            rendered = ", ".join(
+                f"{k}={v}" for k, v in sorted(params.items())) or "-"
+            emit(f"  [{rendered}] best={measurement.best * 1e3:.3f}ms "
+                 f"mean={measurement.mean * 1e3:.3f}ms "
+                 f"n={len(measurement.timings)}")
+        artifacts[workload.name] = make_artifact(workload, mode, measurements)
+    return artifacts

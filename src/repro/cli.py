@@ -143,9 +143,16 @@ class Shell:
 
 
 def main(argv: Optional[list] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "bench":
+        # `repro bench ...` — the benchmark harness subcommand.  Imported
+        # lazily so the interactive shell stays import-light.
+        from .bench.cli import main as bench_main
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Interactive LBTrust shell (CIDR 2009 reproduction)",
+        prog="repro",
+        description="Interactive LBTrust shell (CIDR 2009 reproduction); "
+                    "use `repro bench --help` for the benchmark harness",
     )
     parser.add_argument("--auth", default="hmac",
                         choices=["plaintext", "hmac", "rsa", "mixed"])

@@ -1,7 +1,14 @@
 """The Datalog substrate: AST, parser, evaluators (pure logic, no state)."""
 
 from .database import Database, Relation
-from .engine import EngineRule, EvalStats, ProvenanceStore, evaluate, normalize_rules
+from .engine import (
+    EngineRule,
+    EvalStats,
+    ProvenanceStore,
+    StratumStats,
+    evaluate,
+    normalize_rules,
+)
 from .naive import evaluate_naive
 from .parser import parse_atom, parse_program, parse_rule, parse_statements, parse_term
 from .pretty import canonical_rule, format_statement
@@ -22,6 +29,7 @@ from .terms import (
 __all__ = [
     "Atom", "Constant", "Constraint", "Database", "EngineRule", "EvalContext",
     "EvalStats", "Literal", "Program", "ProvenanceStore", "Quote", "Relation",
+    "StratumStats",
     "Rule", "RuleRef", "Variable", "canonical_rule", "evaluate",
     "evaluate_naive", "format_statement", "normalize_rules", "parse_atom",
     "parse_program", "parse_rule", "parse_statements", "parse_term", "solve",

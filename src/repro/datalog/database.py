@@ -12,7 +12,25 @@ snapshots used by the workspace's transactional constraint enforcement.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from typing import Any, Iterable, Iterator, Optional
+
+#: When set, an object with ``index_builds``/``index_hits`` integer
+#: attributes (an :class:`repro.datalog.engine.EvalStats`) that
+#: :meth:`Relation.lookup` increments.  Installed/removed via
+#: :func:`set_index_stats`; the common path pays one ``is None`` check.
+_index_stats: Optional[Any] = None
+
+
+def set_index_stats(stats: Optional[Any]) -> Optional[Any]:
+    """Install ``stats`` as the active index-counter sink; return the old one.
+
+    Callers must restore the returned previous value when done (see
+    ``EvalStats.capture_indexes``), so nested captures compose.
+    """
+    global _index_stats
+    previous = _index_stats
+    _index_stats = stats
+    return previous
 
 
 class Relation:
@@ -70,6 +88,10 @@ class Relation:
                 item_key = tuple(item[p] for p in positions)
                 index.setdefault(item_key, []).append(item)
             self._indexes[positions] = index
+            if _index_stats is not None:
+                _index_stats.index_builds += 1
+        elif _index_stats is not None:
+            _index_stats.index_hits += 1
         return index.get(key, [])
 
     def copy(self) -> "Relation":

@@ -18,10 +18,12 @@ through ``context.instantiate_quote``).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from time import perf_counter
+from typing import Callable, ClassVar, Iterable, Iterator, Optional
 
-from .database import Database, Relation
+from .database import Database, Relation, set_index_stats
 from .errors import SafetyError
 from .runtime import (
     Bindings,
@@ -113,17 +115,141 @@ class ProvenanceStore:
 
 
 @dataclass
+class StratumStats:
+    """One :func:`eval_stratum` pass, as seen by the benchmark harness.
+
+    ``delta_sizes[i]`` is the number of delta facts consumed by semi-naive
+    iteration ``i`` (the initial seed delta included — on the incremental
+    path the seed is drained by the initial pass, which counts as the
+    first iteration here), so the shape of the fixpoint — how fast the
+    frontier drains — is visible, not just its total cost.  ``rounds``
+    always equals ``len(delta_sizes)``.
+    """
+
+    number: int
+    rounds: int = 0
+    new_facts: int = 0
+    elapsed: float = 0.0
+    delta_sizes: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "stratum": self.number,
+            "rounds": self.rounds,
+            "new_facts": self.new_facts,
+            "elapsed": self.elapsed,
+            "delta_sizes": list(self.delta_sizes),
+        }
+
+
+@dataclass
 class EvalStats:
-    """Counters describing one evaluation pass (used by benchmarks)."""
+    """Counters describing evaluation work (recorded by benchmarks).
+
+    Beyond the aggregate counters, an instance carries:
+
+    * ``rule_firings`` — head tuples produced per rule, keyed by the rule's
+      label (falling back to the head predicate for unlabeled rules);
+    * ``strata`` — a bounded trail of :class:`StratumStats` records, one
+      per :func:`eval_stratum` pass (oldest dropped beyond ``MAX_STRATA``
+      so long-lived accumulators like ``Workspace.stats`` stay small);
+    * ``index_builds`` / ``index_hits`` — :meth:`Relation.lookup` activity
+      while this instance is installed via :meth:`capture_indexes` (the
+      engine installs it for the duration of each stratum pass);
+    * ``literal_scans`` / ``full_scans`` — positive-literal matches issued
+      by the join core, and how many of those had no bound column and had
+      to scan the whole relation.
+    """
+
+    MAX_STRATA: ClassVar[int] = 256
 
     rounds: int = 0
     derivations: int = 0
     new_facts: int = 0
+    index_builds: int = 0
+    index_hits: int = 0
+    literal_scans: int = 0
+    full_scans: int = 0
+    rule_firings: dict = field(default_factory=dict)
+    strata: list = field(default_factory=list)
+
+    def fire(self, key: str, count: int = 1) -> None:
+        self.rule_firings[key] = self.rule_firings.get(key, 0) + count
+
+    def record_stratum(self, record: StratumStats) -> None:
+        self.strata.append(record)
+        if len(self.strata) > self.MAX_STRATA:
+            del self.strata[: len(self.strata) - self.MAX_STRATA]
+
+    @contextmanager
+    def capture_indexes(self) -> Iterator["EvalStats"]:
+        """Route :meth:`Relation.lookup` counters here while the block runs."""
+        previous = set_index_stats(self)
+        try:
+            yield self
+        finally:
+            set_index_stats(previous)
+
+    def copy(self) -> "EvalStats":
+        """A snapshot of the counters (used to diff around a region)."""
+        snapshot = EvalStats(
+            rounds=self.rounds, derivations=self.derivations,
+            new_facts=self.new_facts, index_builds=self.index_builds,
+            index_hits=self.index_hits, literal_scans=self.literal_scans,
+            full_scans=self.full_scans,
+            rule_firings=dict(self.rule_firings),
+            strata=list(self.strata))
+        return snapshot
+
+    def diff(self, before: "EvalStats") -> "EvalStats":
+        """The work done since ``before`` (a prior :meth:`copy` of this).
+
+        Lets a benchmark attribute a long-lived accumulator's counters
+        (e.g. ``Workspace.stats``) to just its measured region.  The
+        ``strata`` tail assumes append-only growth, which holds until
+        ``MAX_STRATA`` trimming kicks in.
+        """
+        delta = EvalStats(
+            rounds=self.rounds - before.rounds,
+            derivations=self.derivations - before.derivations,
+            new_facts=self.new_facts - before.new_facts,
+            index_builds=self.index_builds - before.index_builds,
+            index_hits=self.index_hits - before.index_hits,
+            literal_scans=self.literal_scans - before.literal_scans,
+            full_scans=self.full_scans - before.full_scans)
+        for key, count in self.rule_firings.items():
+            fired = count - before.rule_firings.get(key, 0)
+            if fired:
+                delta.rule_firings[key] = fired
+        delta.strata = self.strata[len(before.strata):]
+        return delta
 
     def merge(self, other: "EvalStats") -> None:
         self.rounds += other.rounds
         self.derivations += other.derivations
         self.new_facts += other.new_facts
+        self.index_builds += other.index_builds
+        self.index_hits += other.index_hits
+        self.literal_scans += other.literal_scans
+        self.full_scans += other.full_scans
+        for key, count in other.rule_firings.items():
+            self.fire(key, count)
+        for record in other.strata:
+            self.record_stratum(record)
+
+    def as_dict(self) -> dict:
+        """A JSON-safe summary (recorded into benchmark artifacts)."""
+        return {
+            "rounds": self.rounds,
+            "derivations": self.derivations,
+            "new_facts": self.new_facts,
+            "index_builds": self.index_builds,
+            "index_hits": self.index_hits,
+            "literal_scans": self.literal_scans,
+            "full_scans": self.full_scans,
+            "rule_firings": dict(sorted(self.rule_firings.items())),
+            "strata": [record.as_dict() for record in self.strata],
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -149,11 +275,11 @@ def apply_rule(rule: EngineRule, db: Database, context: EvalContext,
             relation = Relation(pred, facts)
             delta_relations[pred] = relation
     plan = rule.plan(context, delta_position)
+    fired = 0
     for bindings in solve(rule.body, db, context, plan=plan,
                           delta=delta_relations, delta_position=delta_position):
         fact = instantiate_head(rule.head, bindings, context)
-        if stats is not None:
-            stats.derivations += 1
+        fired += 1
         if fact in head_relation or fact in produced:
             if provenance is not None:
                 _record_provenance(provenance, rule, fact, bindings, context)
@@ -161,6 +287,9 @@ def apply_rule(rule: EngineRule, db: Database, context: EvalContext,
         produced.add(fact)
         if provenance is not None:
             _record_provenance(provenance, rule, fact, bindings, context)
+    if stats is not None and fired:
+        stats.derivations += fired
+        stats.fire(rule.label or rule.head.pred, fired)
     return produced
 
 
@@ -195,6 +324,7 @@ def apply_aggregate_rule(rule: EngineRule, db: Database, context: EvalContext,
     head_vars = [
         term for term in rule.head.all_args
     ]
+    fired = 0
     for bindings in solve(rule.body, db, context,
                           plan=rule.plan(context, None)):
         signature = tuple(sorted(bindings.items(),
@@ -209,8 +339,10 @@ def apply_aggregate_rule(rule: EngineRule, db: Database, context: EvalContext,
             if not (isinstance(term, Variable) and term.name == agg.result.name)
         )
         groups.setdefault(group_key, []).append(over_value)
-        if stats is not None:
-            stats.derivations += 1
+        fired += 1
+    if stats is not None and fired:
+        stats.derivations += fired
+        stats.fire(rule.label or rule.head.pred, fired)
 
     produced: set = set()
     head_relation = db.rel(rule.head.pred)
@@ -259,6 +391,8 @@ def eval_stratum(stratum: Stratum, db: Database, context: EvalContext,
     mode); when None the initial pass applies every rule in full.
     """
     stats = stats if stats is not None else EvalStats()
+    record = StratumStats(number=stratum.number)
+    started = perf_counter()
     added: FactSet = {}
 
     def merge(new_facts: set, pred: str, delta_pool: FactSet) -> None:
@@ -271,42 +405,53 @@ def eval_stratum(stratum: Stratum, db: Database, context: EvalContext,
                 delta_pool.setdefault(pred, set()).add(fact)
                 stats.new_facts += 1
 
-    # 1. Aggregate rules: bodies live strictly below this stratum.
-    delta: FactSet = {}
-    for rule in stratum.agg_rules:
-        merge(apply_aggregate_rule(rule, db, context, stats), rule.head.pred, delta)
+    with stats.capture_indexes():
+        # 1. Aggregate rules: bodies live strictly below this stratum.
+        delta: FactSet = {}
+        for rule in stratum.agg_rules:
+            merge(apply_aggregate_rule(rule, db, context, stats),
+                  rule.head.pred, delta)
 
-    # 2. Initial pass.
-    if changed is None:
-        for rule in stratum.rules:
-            merge(apply_rule(rule, db, context, provenance=provenance,
-                             stats=stats), rule.head.pred, delta)
-    else:
-        for pred, facts in changed.items():
-            delta.setdefault(pred, set()).update(facts)
-        next_delta: FactSet = {}
-        for rule in stratum.rules:
-            for position in rule.positive_positions():
-                literal = rule.body[position]
-                if literal.atom.pred in delta:
-                    merge(apply_rule(rule, db, context, delta, position,
-                                     provenance, stats),
-                          rule.head.pred, next_delta)
-        delta = next_delta
+        # 2. Initial pass.
+        if changed is None:
+            for rule in stratum.rules:
+                merge(apply_rule(rule, db, context, provenance=provenance,
+                                 stats=stats), rule.head.pred, delta)
+        else:
+            for pred, facts in changed.items():
+                delta.setdefault(pred, set()).update(facts)
+            record.rounds += 1
+            record.delta_sizes.append(
+                sum(len(facts) for facts in delta.values()))
+            next_delta: FactSet = {}
+            for rule in stratum.rules:
+                for position in rule.positive_positions():
+                    literal = rule.body[position]
+                    if literal.atom.pred in delta:
+                        merge(apply_rule(rule, db, context, delta, position,
+                                         provenance, stats),
+                              rule.head.pred, next_delta)
+            delta = next_delta
 
-    # 3. Semi-naive rounds.
-    while delta:
-        stats.rounds += 1
-        next_delta = {}
-        for rule in stratum.rules:
-            for position in rule.positive_positions():
-                literal = rule.body[position]
-                if literal.atom.pred in delta:
-                    merge(apply_rule(rule, db, context, delta, position,
-                                     provenance, stats),
-                          rule.head.pred, next_delta)
-        delta = next_delta
+        # 3. Semi-naive rounds.
+        while delta:
+            stats.rounds += 1
+            record.rounds += 1
+            record.delta_sizes.append(
+                sum(len(facts) for facts in delta.values()))
+            next_delta = {}
+            for rule in stratum.rules:
+                for position in rule.positive_positions():
+                    literal = rule.body[position]
+                    if literal.atom.pred in delta:
+                        merge(apply_rule(rule, db, context, delta, position,
+                                         provenance, stats),
+                              rule.head.pred, next_delta)
+            delta = next_delta
 
+    record.elapsed = perf_counter() - started
+    record.new_facts = sum(len(facts) for facts in added.values())
+    stats.record_stratum(record)
     return added
 
 

@@ -58,6 +58,10 @@ class EvalContext:
     instantiate_quote: Optional[Callable[[Quote, Bindings], Any]] = None
     #: opaque payload handed to context-needing builtins (e.g. the keystore)
     payload: Any = None
+    #: optional :class:`repro.datalog.engine.EvalStats`; when set, the join
+    #: core counts positive-literal matches (``literal_scans``) and how
+    #: many of those had no bound column to index on (``full_scans``)
+    stats: Any = None
 
 
 class Unbound(Exception):
@@ -136,9 +140,15 @@ def match_literal(atom: Atom, relation: Relation, bindings: Bindings,
         bound_positions.append(position)
         bound_values.append(value)
 
+    stats = context.stats
     if bound_positions:
+        if stats is not None:
+            stats.literal_scans += 1
         candidates = relation.lookup(tuple(bound_positions), tuple(bound_values))
     else:
+        if stats is not None:
+            stats.literal_scans += 1
+            stats.full_scans += 1
         candidates = relation.tuples
 
     for row in candidates:

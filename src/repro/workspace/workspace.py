@@ -123,6 +123,7 @@ class Workspace:
             builtins=self.builtins,
             instantiate_quote=self._instantiate_quote,
             payload=self,
+            stats=self.stats,
         )
 
     # ------------------------------------------------------------------

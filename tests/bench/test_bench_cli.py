@@ -1,0 +1,147 @@
+"""The `repro bench` CLI end-to-end: run, artifacts, filter, compare."""
+
+import io
+import json
+
+import pytest
+
+from repro.bench import benchmark
+from repro.bench.cli import main
+
+
+@pytest.fixture
+def two_workloads(clean_registry):
+    @benchmark("alpha_fast", group="alpha", warmup=0, repeats=1,
+               quick=[{"n": 1}], full=[{"n": 1}, {"n": 2}])
+    def alpha(case, n):
+        """A tiny workload."""
+        with case.measure():
+            sum(range(100 * n))
+        case.record(n=n)
+
+    @benchmark("beta_fast", group="beta", warmup=0, repeats=1)
+    def beta(case):
+        with case.measure():
+            sum(range(50))
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, discover=False, out=out)
+    return code, out.getvalue()
+
+
+class TestRun:
+    def test_quick_writes_one_artifact_per_workload(self, two_workloads,
+                                                    tmp_path):
+        code, output = run_cli(["--quick", "--json", str(tmp_path)])
+        assert code == 0
+        files = sorted(p.name for p in tmp_path.glob("BENCH_*.json"))
+        assert files == ["BENCH_alpha_fast.json", "BENCH_beta_fast.json"]
+        artifact = json.loads((tmp_path / "BENCH_alpha_fast.json").read_text())
+        assert artifact["schema"] == "repro-bench/v1"
+        assert artifact["mode"] == "quick"
+        assert artifact["points"][0]["metrics"] == {"n": 1}
+        assert "best=" in output
+
+    def test_full_mode_runs_full_sweep(self, two_workloads, tmp_path):
+        code, _ = run_cli(["--full", "--json", str(tmp_path)])
+        assert code == 0
+        artifact = json.loads((tmp_path / "BENCH_alpha_fast.json").read_text())
+        assert [p["params"] for p in artifact["points"]] == \
+            [{"n": 1}, {"n": 2}]
+
+    def test_filter_selects_subset(self, two_workloads, tmp_path):
+        code, _ = run_cli(["--quick", "--filter", "alpha*",
+                           "--json", str(tmp_path)])
+        assert code == 0
+        assert [p.name for p in tmp_path.glob("BENCH_*.json")] == \
+            ["BENCH_alpha_fast.json"]
+
+    def test_no_match_exits_2(self, two_workloads):
+        code, output = run_cli(["--quick", "--filter", "nope*"])
+        assert code == 2
+        assert "no workloads matched" in output
+
+    def test_list(self, two_workloads):
+        code, output = run_cli(["--list"])
+        assert code == 0
+        assert "alpha_fast" in output and "beta_fast" in output
+        assert "A tiny workload." in output
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self, two_workloads, tmp_path):
+        run_cli(["--quick", "--json", str(tmp_path / "base")])
+        code, output = run_cli(["--compare", str(tmp_path / "base"),
+                                "--json", str(tmp_path / "base")])
+        assert code == 0
+        assert "0 regression(s)" in output
+
+    def test_injected_regression_exits_nonzero(self, two_workloads, tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        run_cli(["--quick", "--json", str(base)])
+        run_cli(["--quick", "--json", str(cur)])
+        # Inject a 10x slowdown into the current artifacts.
+        path = cur / "BENCH_alpha_fast.json"
+        artifact = json.loads(path.read_text())
+        for point in artifact["points"]:
+            point["best"] *= 10
+            point["timings"] = [t * 10 for t in point["timings"]]
+        path.write_text(json.dumps(artifact))
+        code, output = run_cli(["--compare", str(base), "--json", str(cur)])
+        assert code == 1
+        assert "REGRESSION" in output
+
+    def test_run_then_compare(self, two_workloads, tmp_path):
+        base = tmp_path / "base"
+        run_cli(["--quick", "--json", str(base)])
+        # Make the baseline impossibly fast: the fresh run must regress.
+        for path in base.glob("BENCH_*.json"):
+            artifact = json.loads(path.read_text())
+            for point in artifact["points"]:
+                point["best"] = 1e-12
+            path.write_text(json.dumps(artifact))
+        code, output = run_cli(["--quick", "--compare", str(base)])
+        assert code == 1
+        assert "REGRESSION" in output
+
+    def test_compare_without_current_artifacts_is_usage_error(
+            self, two_workloads, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli(["--compare", str(tmp_path)])
+
+    def test_missing_baseline_reports_error(self, two_workloads, tmp_path):
+        code, output = run_cli(["--quick", "--compare",
+                                str(tmp_path / "nothing")])
+        assert code == 2
+        assert "error:" in output
+
+
+class TestDispatch:
+    def test_repro_cli_routes_bench_subcommand(self, two_workloads, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["bench", "--list"]) == 0
+        assert "alpha_fast" in capsys.readouterr().out
+
+    def test_standalone_restricts_to_script(self, two_workloads, tmp_path):
+        from repro.bench import standalone
+
+        # Workloads in this test file were registered from conftest-driven
+        # fixtures defined *in this file*, so its path selects them.
+        code = standalone(__file__, ["--list"])
+        assert code == 0
+        assert standalone("/not/a/benchmark.py", ["--list"]) == 2
+
+
+class TestVacuousCompare:
+    def test_empty_baseline_dir_is_an_error(self, two_workloads, tmp_path):
+        cur = tmp_path / "cur"
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        run_cli(["--quick", "--json", str(cur)])
+        code, output = run_cli(["--compare", str(empty), "--json", str(cur)])
+        assert code == 2
+        assert "no comparable points" in output

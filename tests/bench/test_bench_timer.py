@@ -1,0 +1,139 @@
+"""The calibrated timer: warmup/repeat accounting and measured regions."""
+
+import pytest
+
+from repro.bench import BenchError, benchmark, get, time_workload
+
+
+class TestTimeWorkload:
+    def test_warmup_plus_repeats_calls(self, clean_registry):
+        calls = []
+
+        @benchmark("w", warmup=2, repeats=3, quick=[{"n": 7}])
+        def w(case, n):
+            calls.append(n)
+
+        measurement = time_workload(get("w"), {"n": 7})
+        assert calls == [7] * 5
+        assert len(measurement.timings) == 3
+        assert measurement.warmup == 2
+        assert measurement.best == min(measurement.timings)
+
+    def test_measure_region_excludes_setup(self, clean_registry):
+        from time import sleep
+
+        @benchmark("w", warmup=0, repeats=1)
+        def w(case):
+            sleep(0.05)                 # setup: must not be timed
+            with case.measure():
+                sleep(0.002)
+
+        measurement = time_workload(get("w"), {})
+        assert measurement.best < 0.045
+
+    def test_whole_call_timed_without_measure(self, clean_registry):
+        from time import sleep
+
+        @benchmark("w", warmup=0, repeats=1)
+        def w(case):
+            sleep(0.002)
+
+        measurement = time_workload(get("w"), {})
+        assert measurement.best >= 0.002
+
+    def test_metrics_recorded_and_dict_result_merged(self, clean_registry):
+        @benchmark("w", warmup=0, repeats=2)
+        def w(case):
+            with case.measure():
+                pass
+            case.record(alpha=1)
+            return {"beta": 2}
+
+        measurement = time_workload(get("w"), {})
+        assert measurement.metrics == {"alpha": 1, "beta": 2}
+        point = measurement.as_dict()
+        assert point["repeats"] == 2
+        assert point["metrics"] == {"alpha": 1, "beta": 2}
+
+    def test_engine_stats_captured(self, clean_registry):
+        from repro.datalog.database import Database
+        from repro.datalog.engine import evaluate
+        from repro.datalog.parser import parse_statements
+        from repro.datalog.runtime import EvalContext
+        from repro.datalog.terms import Rule
+
+        rules = [s for s in parse_statements("p(X) <- e(X).")
+                 if isinstance(s, Rule)]
+
+        @benchmark("w", warmup=0, repeats=1)
+        def w(case):
+            db = Database()
+            db.add("e", ("a",))
+            with case.measure():
+                evaluate(rules, db, EvalContext(stats=case.stats),
+                         stats=case.stats)
+
+        measurement = time_workload(get("w"), {})
+        assert measurement.engine is not None
+        assert measurement.engine["new_facts"] == 1
+        assert measurement.engine["rule_firings"] == {"p": 1}
+
+    def test_engine_none_for_pure_python_workloads(self, clean_registry):
+        @benchmark("w", warmup=0, repeats=1)
+        def w(case):
+            with case.measure():
+                sum(range(10))
+
+        assert time_workload(get("w"), {}).engine is None
+
+    def test_double_measure_rejected(self, clean_registry):
+        @benchmark("w", warmup=0, repeats=1)
+        def w(case):
+            with case.measure():
+                pass
+            with case.measure():
+                pass
+
+        with pytest.raises(BenchError):
+            time_workload(get("w"), {})
+
+    def test_zero_repeats_rejected(self, clean_registry):
+        @benchmark("w")
+        def w(case):
+            pass
+
+        with pytest.raises(BenchError):
+            time_workload(get("w"), {}, repeats=0)
+
+
+class TestWatch:
+    def test_watch_records_accumulator_delta(self, clean_registry):
+        from repro.datalog.engine import EvalStats
+
+        accumulator = EvalStats()
+        accumulator.fire("setup", 100)          # pre-existing setup work
+
+        @benchmark("w", warmup=0, repeats=1)
+        def w(case):
+            case.watch(accumulator)
+            with case.measure():
+                accumulator.fire("measured", 3)
+                accumulator.new_facts += 7
+
+        measurement = time_workload(get("w"), {})
+        assert measurement.engine["rule_firings"] == {"measured": 3}
+        assert measurement.engine["new_facts"] == 7
+
+    def test_setup_index_lookups_stay_out_of_engine_counters(
+            self, clean_registry):
+        from repro.datalog.database import Relation
+
+        relation = Relation("e", {(1, 2)})
+
+        @benchmark("w", warmup=0, repeats=1)
+        def w(case):
+            relation.lookup((0,), (1,))          # untimed setup lookup
+            with case.measure():
+                pass
+
+        assert time_workload(get("w"), {}).engine is None

@@ -1,0 +1,149 @@
+"""EvalStats instrumentation: exact structural counts on fixed workloads.
+
+These pin the engine's *shape* — rule firings, semi-naive delta drain,
+index traffic — so an evaluation-strategy regression (e.g. re-deriving
+old facts, losing an index) fails structurally even when wall-clock
+noise would hide it.
+
+The workload: transitive closure of the chain 0→1→2→3→4→5.
+
+* ``base`` fires once per edge (5).
+* The initial pass runs ``base`` (5 length-1 paths) then ``step`` over
+  them (4 length-2 paths) — a seed delta of 9.
+* Semi-naive rounds then derive paths of length 3, 4, 5 from deltas of
+  size 9, 3, 2, then drain the final delta of 1 deriving nothing:
+  4 rounds, ``step`` firing 4+3+2+1 = 10 more times (14 total).
+"""
+
+from repro.datalog.database import Database
+from repro.datalog.engine import EvalStats, StratumStats, evaluate
+from repro.datalog.parser import parse_statements
+from repro.datalog.runtime import EvalContext
+from repro.datalog.terms import Rule
+
+TC = "base: r(X,Y) <- e(X,Y). step: r(X,Z) <- r(X,Y), e(Y,Z)."
+
+
+def run_chain(n=5):
+    rules = [s for s in parse_statements(TC) if isinstance(s, Rule)]
+    db = Database()
+    for i in range(n):
+        db.add("e", (i, i + 1))
+    stats = EvalStats()
+    evaluate(rules, db, EvalContext(stats=stats), stats=stats)
+    return db, stats
+
+
+class TestExactCounts:
+    def test_rule_firings(self):
+        _, stats = run_chain()
+        assert stats.rule_firings == {"base": 5, "step": 14}
+
+    def test_totals(self):
+        db, stats = run_chain()
+        assert len(db.tuples("r")) == 15          # C(6,2) pairs
+        assert stats.new_facts == 15
+        assert stats.derivations == 19            # 5 + 14
+        assert stats.rounds == 4
+
+    def test_stratum_trail(self):
+        _, stats = run_chain()
+        assert len(stats.strata) == 1
+        record = stats.strata[0]
+        assert record.number == 0
+        assert record.rounds == 4
+        assert record.new_facts == 15
+        assert record.delta_sizes == [9, 3, 2, 1]
+        assert record.elapsed > 0.0
+
+    def test_index_counters(self):
+        _, stats = run_chain()
+        # e is indexed on its first column once; every subsequent join
+        # probe reuses it.
+        assert stats.index_builds == 1
+        assert stats.index_hits == 19
+
+    def test_scan_counters(self):
+        _, stats = run_chain()
+        # full scans: e (base, initial pass), r (step, initial pass), and
+        # one unbound delta scan per semi-naive round.
+        assert stats.full_scans == 6
+        assert stats.literal_scans == 26
+
+
+class TestStatsPlumbing:
+    def test_merge_accumulates_everything(self):
+        _, one = run_chain()
+        _, two = run_chain()
+        merged = EvalStats()
+        merged.merge(one)
+        merged.merge(two)
+        assert merged.rule_firings == {"base": 10, "step": 28}
+        assert merged.derivations == 38
+        assert merged.index_builds == 2
+        assert len(merged.strata) == 2
+        assert merged.as_dict()["rule_firings"] == {"base": 10, "step": 28}
+
+    def test_stratum_trail_is_bounded(self):
+        stats = EvalStats()
+        for i in range(EvalStats.MAX_STRATA + 10):
+            stats.record_stratum(StratumStats(number=i))
+        assert len(stats.strata) == EvalStats.MAX_STRATA
+        assert stats.strata[0].number == 10     # oldest dropped
+
+    def test_as_dict_is_json_safe(self):
+        import json
+
+        _, stats = run_chain()
+        rendered = json.dumps(stats.as_dict())
+        assert '"delta_sizes": [9, 3, 2, 1]' in rendered
+
+    def test_capture_indexes_restores_previous_sink(self):
+        from repro.datalog import database
+
+        outer, inner = EvalStats(), EvalStats()
+        relation = database.Relation("e", {(1, 2), (3, 4)})
+        with outer.capture_indexes():
+            with inner.capture_indexes():
+                relation.lookup((0,), (1,))
+            relation.lookup((0,), (3,))
+        relation.lookup((0,), (1,))  # no sink installed: uncounted
+        assert (inner.index_builds, inner.index_hits) == (1, 0)
+        assert (outer.index_builds, outer.index_hits) == (0, 1)
+
+
+class TestCopyDiff:
+    def test_diff_isolates_a_region(self):
+        _, stats = run_chain()
+        before = stats.copy()
+        _, more = run_chain(3)
+        stats.merge(more)
+        delta = stats.diff(before)
+        assert delta.rule_firings == more.rule_firings
+        assert delta.derivations == more.derivations
+        assert delta.new_facts == more.new_facts
+        assert len(delta.strata) == 1
+        # the original keeps accumulating; the snapshot is untouched
+        assert before.rule_firings == {"base": 5, "step": 14}
+
+    def test_incremental_pass_records_seed_delta(self):
+        from repro.datalog.engine import (
+            normalize_rules, propagate_insertions,
+        )
+        from repro.datalog.stratify import stratify
+
+        rules = normalize_rules(
+            [s for s in parse_statements(TC) if isinstance(s, Rule)])
+        db = Database()
+        for i in range(5):
+            db.add("e", (i, i + 1))
+        evaluate(rules, db, EvalContext())
+        strata = stratify(rules)
+        stats = EvalStats()
+        db.add("e", (5, 6))
+        propagate_insertions(strata, db, EvalContext(), {"e": {(5, 6)}},
+                             edb_facts=lambda p: set(), stats=stats)
+        record = stats.strata[-1]
+        assert record.delta_sizes[0] == 1        # the seed edge itself
+        assert record.rounds == len(record.delta_sizes)
+        assert stats.new_facts == 6              # r(i,6) for i in 0..5
