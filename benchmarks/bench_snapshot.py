@@ -1,0 +1,104 @@
+"""A8 — COW snapshot/rollback cost vs database size.
+
+The workspace's transactional constraint enforcement snapshots the whole
+database at every transaction start and restores it on rollback.  With
+copy-on-write relations both operations cost O(changed relations), not
+O(total facts), so transaction overhead stays flat as the fact base
+grows.  Two modes:
+
+* ``database`` — raw ``Database.snapshot()``/``restore()`` cycles over a
+  wide database where each transaction touches a single relation;
+* ``workspace`` — full transaction rollbacks (constraint violation) on a
+  workspace carrying a large EDB, the paper's section 3.2 admission
+  scenario: a big policy base rejecting a bad batch should pay for the
+  batch, not for the base.
+"""
+
+if __package__ in (None, ""):  # running as a script
+    import sys
+    from pathlib import Path
+    _root = Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
+
+from benchmarks import optional_pytest
+
+pytest = optional_pytest()
+
+from repro.bench import benchmark
+from repro.datalog.database import Database
+from repro.datalog.errors import ConstraintViolation
+from repro.workspace.workspace import Workspace
+
+RELATIONS = 50    # relations in the wide database
+FACTS = 200       # facts per relation
+TXNS = 40         # snapshot/mutate/rollback cycles measured
+
+
+def wide_database(relations: int, facts: int) -> Database:
+    db = Database()
+    for r in range(relations):
+        name = f"rel{r}"
+        for i in range(facts):
+            db.add(name, (i, i + 1))
+        db.rel(name).lookup((0,), (0,))  # a maintained index per relation
+    return db
+
+
+def loaded_workspace(facts: int) -> Workspace:
+    ws = Workspace("bench", "bench")
+    ws.load('edge(X,Y) -> .  bad(X) -> .  bad(X) -> nosuch(X).')
+    ws.assert_facts("edge", [(i, i + 1) for i in range(facts)])
+    return ws
+
+
+@benchmark("snapshot_rollback", group="engine",
+           quick=[{"mode": "database", "relations": 30, "facts": 100,
+                   "txns": 20},
+                  {"mode": "workspace", "facts": 300, "txns": 10}],
+           full=[{"mode": "database", "relations": RELATIONS, "facts": FACTS,
+                  "txns": TXNS},
+                 {"mode": "workspace", "facts": 2000, "txns": TXNS}])
+def snapshot_rollback(case, mode, facts, txns, relations=None):
+    """COW snapshot/restore cycles: cost tracks the delta, not the database."""
+    if mode == "database":
+        db = wide_database(relations, facts)
+        with case.measure():
+            for t in range(txns):
+                snapshot = db.snapshot()
+                hot = f"rel{t % relations}"
+                for i in range(10):
+                    db.add(hot, ("txn", t, i))
+                db.restore(snapshot)
+        case.record(total_facts=db.total_facts())
+    else:
+        ws = loaded_workspace(facts)
+        case.watch(ws.stats)
+        rejected = 0
+        with case.measure():
+            for t in range(txns):
+                try:
+                    with ws.transaction():
+                        ws.assert_fact("edge", (facts + t, facts + t + 1))
+                        ws.assert_fact("bad", (t,))
+                except ConstraintViolation:
+                    rejected += 1
+        case.record(rejected=rejected, edb_facts=len(ws.edb.get("edge", ())))
+
+
+@pytest.mark.benchmark(group="snapshot")
+def test_snapshot_rollback_database(benchmark):
+    def setup():
+        return (wide_database(30, 100),), {}
+
+    def target(db):
+        for t in range(20):
+            snapshot = db.snapshot()
+            db.add(f"rel{t % 30}", ("txn", t))
+            db.restore(snapshot)
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    from repro.bench import standalone
+    raise SystemExit(standalone(__file__))

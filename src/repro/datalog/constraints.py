@@ -22,7 +22,14 @@ from typing import Iterator, Optional
 
 from .database import Database
 from .errors import SafetyError
-from .runtime import Bindings, EvalContext, build_plan, solve
+from .runtime import (
+    Bindings,
+    EvalContext,
+    build_plan,
+    cardinality_band,
+    relation_sizes,
+    solve,
+)
 from .terms import Constraint
 
 
@@ -43,13 +50,30 @@ class Violation:
 
 def check_constraint(constraint: Constraint, db: Database,
                      context: EvalContext,
-                     limit: Optional[int] = None) -> list[Violation]:
-    """All (or the first ``limit``) violations of one constraint."""
+                     limit: Optional[int] = None,
+                     plan_cache: Optional[dict] = None) -> list[Violation]:
+    """All (or the first ``limit``) violations of one constraint.
+
+    ``plan_cache`` memoizes compiled LHS/RHS probe plans; every witness of
+    one LHS alternative binds the same variable names, so the RHS plan is
+    compiled once per (alternative, binding shape) instead of once per
+    witness.  A caller-supplied cache (the workspace passes a long-lived
+    one) amortizes compilation across commits; it must be invalidated
+    whenever the constraint set changes, since entries are keyed by
+    constraint identity.
+    """
     if constraint.is_declaration():
         return []
     violations: list[Violation] = []
-    for witness in _lhs_witnesses(constraint, db, context):
-        if _rhs_satisfied(constraint, db, context, witness):
+    if plan_cache is None:
+        plan_cache = {}
+    # The database is fixed for the duration of one check, so each
+    # alternative's size/band signature is computed once, not per witness.
+    size_memo: dict = {}
+    for witness in _lhs_witnesses(constraint, db, context, plan_cache,
+                                  size_memo):
+        if _rhs_satisfied(constraint, db, context, witness, plan_cache,
+                          size_memo):
             continue
         violations.append(Violation(constraint, witness))
         if limit is not None and len(violations) >= limit:
@@ -58,22 +82,61 @@ def check_constraint(constraint: Constraint, db: Database,
 
 
 def check_constraints(constraints: list, db: Database, context: EvalContext,
-                      limit: Optional[int] = None) -> list[Violation]:
+                      limit: Optional[int] = None,
+                      plan_cache: Optional[dict] = None) -> list[Violation]:
     """Check every constraint; returns the accumulated violations."""
     violations: list[Violation] = []
     for constraint in constraints:
         remaining = None if limit is None else limit - len(violations)
         if remaining is not None and remaining <= 0:
             break
-        violations.extend(check_constraint(constraint, db, context, remaining))
+        violations.extend(check_constraint(constraint, db, context, remaining,
+                                           plan_cache))
     return violations
 
 
-def _lhs_witnesses(constraint: Constraint, db: Database,
-                   context: EvalContext) -> Iterator[Bindings]:
-    for alternative in constraint.lhs:
+def _cached_plan(plan_cache: dict, key: tuple, alternative: tuple,
+                 shape: frozenset, db: Database, context: EvalContext,
+                 size_memo: dict):
+    # The key carries the cardinality-band signature of the alternative's
+    # body relations, so long-lived caches (the workspace keeps one across
+    # commits) re-plan with fresh cost estimates when some relation grows
+    # by an order of magnitude, mirroring EngineRule's band-keyed cache.
+    # ``size_memo`` (fresh per check_constraint call) makes the signature
+    # per-alternative, not per-witness.
+    memo_key = key[:3]  # (constraint id, side, alternative number)
+    memoized = size_memo.get(memo_key)
+    if memoized is None:
+        sizes = relation_sizes(alternative, db)
+        if sizes is None:
+            bands = None
+        else:
+            bands = tuple(cardinality_band(size) for size in sizes.values())
+        memoized = size_memo[memo_key] = (sizes, bands)
+    sizes, bands = memoized
+    key = key + (bands,)
+    plan = plan_cache.get(key)
+    if plan is None:
+        plan = build_plan(alternative, shape, builtins=context.builtins,
+                          sizes=sizes)
+        plan_cache[key] = plan
+        if context.stats is not None:
+            context.stats.plans_built += 1
+            if plan.reordered:
+                context.stats.reorder_wins += 1
+    elif context.stats is not None:
+        context.stats.plan_cache_hits += 1
+    return plan
+
+
+def _lhs_witnesses(constraint: Constraint, db: Database, context: EvalContext,
+                   plan_cache: dict, size_memo: dict) -> Iterator[Bindings]:
+    for number, alternative in enumerate(constraint.lhs):
         try:
-            yield from solve(alternative, db, context)
+            plan = _cached_plan(plan_cache, (id(constraint), "lhs", number),
+                                alternative, frozenset(), db, context,
+                                size_memo)
+            yield from solve(alternative, db, context, plan=plan)
         except SafetyError as exc:
             raise SafetyError(
                 f"constraint {constraint!r} has an unsafe left-hand side: {exc}"
@@ -81,14 +144,18 @@ def _lhs_witnesses(constraint: Constraint, db: Database,
 
 
 def _rhs_satisfied(constraint: Constraint, db: Database, context: EvalContext,
-                   witness: Bindings) -> bool:
-    for alternative in constraint.rhs:
+                   witness: Bindings, plan_cache: dict,
+                   size_memo: dict) -> bool:
+    shape = frozenset(witness)
+    for number, alternative in enumerate(constraint.rhs):
         try:
-            plan = build_plan(alternative, frozenset(witness),
-                              builtins=context.builtins)
+            plan = _cached_plan(plan_cache,
+                                (id(constraint), "rhs", number, shape),
+                                alternative, shape, db, context, size_memo)
         except SafetyError as exc:
             raise SafetyError(
-                f"constraint {constraint!r} has an unsafe right-hand side: {exc}"
+                f"constraint {constraint!r} has an unsafe right-hand "
+                f"side: {exc}"
             ) from exc
         for _ in solve(alternative, db, context, bindings=witness, plan=plan):
             return True

@@ -1,4 +1,4 @@
-"""In-memory relations with on-demand hash indexes.
+"""In-memory relations with on-demand hash indexes and COW snapshots.
 
 A :class:`Relation` is a set of ground tuples plus any number of hash
 indexes keyed by column subsets.  Indexes are built lazily the first time a
@@ -6,13 +6,25 @@ join needs them and are maintained incrementally on insertion, which keeps
 the semi-naive fixpoint loop cheap (the paper's workloads — says/export
 chains — are join-heavy on one or two key columns).
 
-The :class:`Database` is a name → relation mapping with copy-on-write
-snapshots used by the workspace's transactional constraint enforcement.
+Snapshots are **copy-on-write**: :meth:`Relation.view` returns an O(1)
+handle sharing the relation's tuple set *and* its indexes; the first
+mutation through either handle unshares by copying, so unmutated relations
+never pay for a snapshot.  :meth:`Database.snapshot` builds a database of
+views in O(number of relations), and :meth:`Database.restore` keeps the
+live relation object (identity, indexes and all) wherever it still shares
+state with the snapshot — rollback costs O(changed relations), not
+O(total facts).
+
+Index maintenance is *checked*: a tuple present in ``tuples`` whose index
+entry is missing raises :class:`~repro.datalog.errors.IndexIntegrityError`
+instead of silently returning wrong join results.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Optional
+
+from .errors import IndexIntegrityError
 
 #: When set, an object with ``index_builds``/``index_hits`` integer
 #: attributes (an :class:`repro.datalog.engine.EvalStats`) that
@@ -34,14 +46,64 @@ def set_index_stats(stats: Optional[Any]) -> Optional[Any]:
 
 
 class Relation:
-    """A named set of equal-length tuples with incremental hash indexes."""
+    """A named set of equal-length tuples with incremental hash indexes.
 
-    __slots__ = ("name", "tuples", "_indexes")
+    ``tuples`` and ``_indexes`` may be shared with other :class:`Relation`
+    handles (``_shared`` is then True); every mutating method unshares
+    first, so holders of other handles never observe the mutation.
+    """
+
+    __slots__ = ("name", "tuples", "_indexes", "_shared")
 
     def __init__(self, name: str, tuples: Optional[Iterable[tuple]] = None) -> None:
         self.name = name
         self.tuples: set[tuple] = set(tuples) if tuples else set()
         self._indexes: dict[tuple, dict[tuple, list[tuple]]] = {}
+        self._shared = False
+
+    @classmethod
+    def wrap(cls, name: str, tuples: set) -> "Relation":
+        """A COW relation over an existing set — no copy up front.
+
+        The donor set is adopted as shared state: reads (including lazy
+        index builds) touch it directly, while the first mutation copies,
+        leaving the donor untouched.  Used for semi-naive delta relations,
+        which are read-heavy and usually never mutated.
+        """
+        relation = cls.__new__(cls)
+        relation.name = name
+        relation.tuples = tuples
+        relation._indexes = {}
+        relation._shared = True
+        return relation
+
+    def view(self) -> "Relation":
+        """An O(1) copy-on-write handle onto this relation's state.
+
+        Both handles share tuples and indexes until one of them mutates;
+        the mutating side copies its state first (see :meth:`_unshare`),
+        so the other side keeps the pre-mutation contents.
+        """
+        other = Relation.__new__(Relation)
+        other.name = self.name
+        other.tuples = self.tuples
+        other._indexes = self._indexes
+        other._shared = True
+        self._shared = True
+        return other
+
+    def copy(self) -> "Relation":
+        """A snapshot copy (copy-on-write; indexes are shared until mutation)."""
+        return self.view()
+
+    def _unshare(self) -> None:
+        """Take private ownership of tuples and indexes before a mutation."""
+        self.tuples = set(self.tuples)
+        self._indexes = {
+            positions: {key: list(bucket) for key, bucket in index.items()}
+            for positions, index in self._indexes.items()
+        }
+        self._shared = False
 
     def __len__(self) -> int:
         return len(self.tuples)
@@ -56,47 +118,84 @@ class Relation:
         """Insert a tuple; return True if it was new."""
         if item in self.tuples:
             return False
+        if self._shared:
+            self._unshare()
         self.tuples.add(item)
         for positions, index in self._indexes.items():
-            key = tuple(item[p] for p in positions)
-            index.setdefault(key, []).append(item)
+            key = tuple([item[p] for p in positions])
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [item]
+            else:
+                bucket.append(item)
         return True
 
     def discard(self, item: tuple) -> bool:
-        """Remove a tuple; return True if it was present."""
+        """Remove a tuple; return True if it was present.
+
+        Every maintained index must agree with ``tuples``; a missing
+        bucket or bucket entry means maintenance went wrong somewhere and
+        raises :class:`IndexIntegrityError` rather than silently leaving
+        the index disagreeing with the tuple set.
+        """
         if item not in self.tuples:
             return False
+        if self._shared:
+            self._unshare()
         self.tuples.discard(item)
         for positions, index in self._indexes.items():
-            key = tuple(item[p] for p in positions)
+            key = tuple([item[p] for p in positions])
             bucket = index.get(key)
-            if bucket is not None:
-                try:
-                    bucket.remove(item)
-                except ValueError:  # pragma: no cover - defensive
-                    pass
-                if not bucket:
-                    del index[key]
+            if bucket is None:
+                raise IndexIntegrityError(
+                    f"relation {self.name!r}: index {positions} has no bucket "
+                    f"for {item!r}"
+                )
+            try:
+                bucket.remove(item)
+            except ValueError:
+                raise IndexIntegrityError(
+                    f"relation {self.name!r}: index {positions} bucket is "
+                    f"missing {item!r}"
+                ) from None
+            if not bucket:
+                del index[key]
         return True
 
     def lookup(self, positions: tuple, key: tuple) -> list[tuple]:
-        """All tuples whose ``positions`` columns equal ``key`` (indexed)."""
+        """All tuples whose ``positions`` columns equal ``key`` (indexed).
+
+        Returns a *stable* list: later mutations of the relation do not
+        affect it, so callers may interleave iteration with insertions
+        into this very relation.
+        """
+        bucket = self.live_bucket(positions, key)
+        return list(bucket) if bucket else []
+
+    def live_bucket(self, positions: tuple, key: tuple):
+        """The raw index bucket for ``key`` (no defensive copy).
+
+        Zero-copy fast path for the engine's staged rule application,
+        where the relation is by contract not mutated while the bucket is
+        being iterated.  Anyone who may mutate between reads must use
+        :meth:`lookup` instead.  Returns ``()`` on a miss.
+        """
         index = self._indexes.get(positions)
         if index is None:
             index = {}
             for item in self.tuples:
-                item_key = tuple(item[p] for p in positions)
-                index.setdefault(item_key, []).append(item)
+                item_key = tuple([item[p] for p in positions])
+                bucket = index.get(item_key)
+                if bucket is None:
+                    index[item_key] = [item]
+                else:
+                    bucket.append(item)
             self._indexes[positions] = index
             if _index_stats is not None:
                 _index_stats.index_builds += 1
         elif _index_stats is not None:
             _index_stats.index_hits += 1
-        return index.get(key, [])
-
-    def copy(self) -> "Relation":
-        """A snapshot copy (indexes are rebuilt lazily on the copy)."""
-        return Relation(self.name, self.tuples)
+        return index.get(key, ())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Relation({self.name}, {len(self.tuples)} tuples)"
@@ -139,15 +238,37 @@ class Database:
         return sum(len(r) for r in self.relations.values())
 
     def snapshot(self) -> "Database":
-        """A deep-enough copy for transactional rollback."""
+        """A copy-on-write snapshot: O(number of relations), not O(facts).
+
+        The snapshot shares every relation's state through
+        :meth:`Relation.view`; mutations on either side unshare just the
+        touched relation.  Also serves as a cheap *overlay* (a scratch
+        database seeded with this one's contents — see
+        :func:`repro.datalog.magic.query_magic`).
+        """
         copy = Database()
+        relations = copy.relations
         for name, relation in self.relations.items():
-            copy.relations[name] = relation.copy()
+            relations[name] = relation.view()
         return copy
 
     def restore(self, snapshot: "Database") -> None:
-        """Replace all contents with ``snapshot``'s (rollback)."""
-        self.relations = {name: rel.copy() for name, rel in snapshot.relations.items()}
+        """Replace all contents with ``snapshot``'s (rollback).
+
+        Untouched relations — those still sharing state with the snapshot
+        — keep their live :class:`Relation` object, so their identity and
+        any built indexes survive the round-trip.  The snapshot remains
+        valid and can be restored again.
+        """
+        relations: dict[str, Relation] = {}
+        live_map = self.relations
+        for name, snap_rel in snapshot.relations.items():
+            live = live_map.get(name)
+            if live is not None and live.tuples is snap_rel.tuples:
+                relations[name] = live
+            else:
+                relations[name] = snap_rel.view()
+        self.relations = relations
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Database({self.total_facts()} facts in {len(self.relations)} relations)"

@@ -21,7 +21,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, ClassVar, Iterable, Iterator, Optional
+from typing import Any, Callable, ClassVar, Iterable, Iterator, Optional
 
 from .database import Database, Relation, set_index_stats
 from .errors import SafetyError
@@ -30,19 +30,57 @@ from .runtime import (
     EvalContext,
     Plan,
     build_plan,
+    cardinality_band,
     instantiate_head,
+    run_flat,
     solve,
 )
 from .stratify import Stratum, stratify
-from .terms import Aggregate, Atom, Literal, Rule, Variable
+from .terms import Aggregate, Atom, Constant, Literal, Rule, Variable
 
 #: pred -> set of tuples; the currency of incremental propagation.
 FactSet = dict[str, set]
 
 
+def _compile_head(atom: Atom):
+    """A fast ground-tuple constructor for an all-const/var head, else None."""
+    spec = []
+    for term in atom.all_args:
+        if isinstance(term, Variable):
+            spec.append((True, term.name))
+        elif isinstance(term, Constant):
+            spec.append((False, term.value))
+        else:
+            return None  # quotes / expressions need the generic path
+    spec = tuple(spec)
+    pred = atom.pred
+
+    def construct(bindings: Bindings) -> tuple:
+        try:
+            return tuple([bindings[payload] if is_var else payload
+                          for is_var, payload in spec])
+        except KeyError as exc:
+            raise SafetyError(
+                f"head variable {exc.args[0]!r} of {pred} is not bound by the body"
+            ) from None
+
+    return construct
+
+
 @dataclass
 class EngineRule:
-    """A normalized single-head rule plus its cached join plans."""
+    """A normalized single-head rule plus its cached join plans.
+
+    Plans are cached per ``(delta_position, cardinality bands)``: the band
+    signature maps each positive body relation's live size through
+    :func:`repro.datalog.runtime.cardinality_band` (empty / small / one
+    band per power of *four*), so a cached plan is reused until some
+    input relation grows or shrinks past a band boundary — coarse enough
+    to keep rebuilds rare, fine enough that the cost model reacts to
+    order-of-magnitude cardinality shifts.
+    """
+
+    MAX_CACHED_PLANS: ClassVar[int] = 128
 
     head: Atom
     body: tuple
@@ -50,18 +88,69 @@ class EngineRule:
     label: Optional[str] = None
     source: Optional[Rule] = None
     _plans: dict = field(default_factory=dict, repr=False)
+    _size_preds: Optional[tuple] = field(default=None, repr=False)
+    _head_ctor: Any = field(default=False, repr=False)
 
     @property
     def heads(self) -> tuple:
         # Shape-compatibility with terms.Rule for stratify().
         return (self.head,)
 
-    def plan(self, context: EvalContext, delta_position: Optional[int]) -> Plan:
-        plan = self._plans.get(delta_position)
+    def head_ctor(self):
+        """Compiled head instantiator, or None when the head needs quotes."""
+        if self._head_ctor is False:
+            self._head_ctor = _compile_head(self.head)
+        return self._head_ctor
+
+    def plan(self, context: EvalContext, delta_position: Optional[int],
+             db: Optional[Database] = None,
+             stats: Optional["EvalStats"] = None) -> Plan:
+        if stats is None:
+            stats = context.stats
+        sizes = None
+        preds = self._size_preds
+        if preds is None:
+            preds = self._size_preds = tuple(dict.fromkeys(
+                item.atom.pred for item in self.body
+                if isinstance(item, Literal) and not item.negated))
+        if db is None or len(preds) <= 1:
+            # One distinct positive predicate: every candidate literal has
+            # the same cardinality, so the cost model cannot change the
+            # order — don't let size churn invalidate the cached plan.
+            key = (delta_position, None)
+        else:
+            relations = db.relations
+            sizes = {}
+            signature = []
+            for pred in preds:
+                relation = relations.get(pred)
+                size = len(relation.tuples) if relation is not None else 0
+                sizes[pred] = size
+                signature.append(cardinality_band(size))
+            if max(signature) <= 1:
+                # Everything is small: any order is fine, so share one
+                # greedy plan instead of churning sized plans while the
+                # relations fill up.
+                sizes = None
+                key = (delta_position, None)
+            else:
+                key = (delta_position, tuple(signature))
+        plan = self._plans.get(key)
         if plan is None:
             plan = build_plan(self.body, first=delta_position,
-                              builtins=context.builtins)
-            self._plans[delta_position] = plan
+                              builtins=context.builtins, sizes=sizes)
+            if len(self._plans) >= self.MAX_CACHED_PLANS:
+                # FIFO eviction: drop the oldest entry, not the whole
+                # cache — clearing would thrash for rules whose many
+                # (delta position, band) keys are all still live.
+                self._plans.pop(next(iter(self._plans)))
+            self._plans[key] = plan
+            if stats is not None:
+                stats.plans_built += 1
+                if plan.reordered:
+                    stats.reorder_wins += 1
+        elif stats is not None:
+            stats.plan_cache_hits += 1
         return plan
 
     def positive_positions(self) -> list[int]:
@@ -158,7 +247,12 @@ class EvalStats:
       engine installs it for the duration of each stratum pass);
     * ``literal_scans`` / ``full_scans`` — positive-literal matches issued
       by the join core, and how many of those had no bound column and had
-      to scan the whole relation.
+      to scan the whole relation;
+    * ``plans_built`` / ``plan_cache_hits`` — join plans compiled vs
+      served from a rule's band-keyed plan cache;
+    * ``reorder_wins`` — built plans where the cardinality cost model
+      chose a different positive-literal order than the boundness-greedy
+      baseline would have.
     """
 
     MAX_STRATA: ClassVar[int] = 256
@@ -170,6 +264,9 @@ class EvalStats:
     index_hits: int = 0
     literal_scans: int = 0
     full_scans: int = 0
+    plans_built: int = 0
+    plan_cache_hits: int = 0
+    reorder_wins: int = 0
     rule_firings: dict = field(default_factory=dict)
     strata: list = field(default_factory=list)
 
@@ -196,7 +293,9 @@ class EvalStats:
             rounds=self.rounds, derivations=self.derivations,
             new_facts=self.new_facts, index_builds=self.index_builds,
             index_hits=self.index_hits, literal_scans=self.literal_scans,
-            full_scans=self.full_scans,
+            full_scans=self.full_scans, plans_built=self.plans_built,
+            plan_cache_hits=self.plan_cache_hits,
+            reorder_wins=self.reorder_wins,
             rule_firings=dict(self.rule_firings),
             strata=list(self.strata))
         return snapshot
@@ -216,7 +315,10 @@ class EvalStats:
             index_builds=self.index_builds - before.index_builds,
             index_hits=self.index_hits - before.index_hits,
             literal_scans=self.literal_scans - before.literal_scans,
-            full_scans=self.full_scans - before.full_scans)
+            full_scans=self.full_scans - before.full_scans,
+            plans_built=self.plans_built - before.plans_built,
+            plan_cache_hits=self.plan_cache_hits - before.plan_cache_hits,
+            reorder_wins=self.reorder_wins - before.reorder_wins)
         for key, count in self.rule_firings.items():
             fired = count - before.rule_firings.get(key, 0)
             if fired:
@@ -232,6 +334,9 @@ class EvalStats:
         self.index_hits += other.index_hits
         self.literal_scans += other.literal_scans
         self.full_scans += other.full_scans
+        self.plans_built += other.plans_built
+        self.plan_cache_hits += other.plan_cache_hits
+        self.reorder_wins += other.reorder_wins
         for key, count in other.rule_firings.items():
             self.fire(key, count)
         for record in other.strata:
@@ -247,6 +352,9 @@ class EvalStats:
             "index_hits": self.index_hits,
             "literal_scans": self.literal_scans,
             "full_scans": self.full_scans,
+            "plans_built": self.plans_built,
+            "plan_cache_hits": self.plan_cache_hits,
+            "reorder_wins": self.reorder_wins,
             "rule_firings": dict(sorted(self.rule_firings.items())),
             "strata": [record.as_dict() for record in self.strata],
         }
@@ -265,32 +373,105 @@ def apply_rule(rule: EngineRule, db: Database, context: EvalContext,
 
     Returns tuples *not yet present* in the database.  Does not mutate the
     database — callers merge the result so rounds stay well-defined.
+    ``delta`` values may be fact sets or prebuilt :class:`Relation` objects
+    (the stratum loop passes COW-wrapped relations so they are built once
+    per round, not once per rule application).
     """
     produced: set = set()
     head_relation = db.rel(rule.head.pred)
     delta_relations: Optional[dict[str, Relation]] = None
     if delta is not None:
-        delta_relations = {}
-        for pred, facts in delta.items():
-            relation = Relation(pred, facts)
-            delta_relations[pred] = relation
-    plan = rule.plan(context, delta_position)
+        if all(isinstance(facts, Relation) for facts in delta.values()):
+            delta_relations = delta
+        else:
+            delta_relations = {
+                pred: (facts if isinstance(facts, Relation)
+                       else Relation.wrap(pred, facts))
+                for pred, facts in delta.items()
+            }
+    plan = rule.plan(context, delta_position, db=db, stats=stats)
     fired = 0
-    for bindings in solve(rule.body, db, context, plan=plan,
-                          delta=delta_relations, delta_position=delta_position):
-        fact = instantiate_head(rule.head, bindings, context)
-        fired += 1
-        if fact in head_relation or fact in produced:
+    head_ctor = rule.head_ctor()
+    if head_ctor is not None and provenance is None:
+        flat = plan.flat()
+        spec = _flat_head_spec(rule, flat) if flat is not None else None
+        if spec is not None:
+            fired = _apply_rule_flat(flat, spec, db, context, delta_relations,
+                                     delta_position, head_relation, produced)
+            if stats is not None and fired:
+                stats.derivations += fired
+                stats.fire(rule.label or rule.head.pred, fired)
+            return produced
+        head_tuples = head_relation.tuples
+        for bindings in solve(rule.body, db, context, plan=plan,
+                              delta=delta_relations,
+                              delta_position=delta_position):
+            fact = head_ctor(bindings)
+            fired += 1
+            if fact in head_tuples or fact in produced:
+                continue
+            produced.add(fact)
+    else:
+        solutions = solve(rule.body, db, context, plan=plan,
+                          delta=delta_relations, delta_position=delta_position)
+        for bindings in solutions:
+            fact = instantiate_head(rule.head, bindings, context)
+            fired += 1
+            if fact in head_relation or fact in produced:
+                if provenance is not None:
+                    _record_provenance(provenance, rule, fact, bindings, context)
+                continue
+            produced.add(fact)
             if provenance is not None:
                 _record_provenance(provenance, rule, fact, bindings, context)
-            continue
-        produced.add(fact)
-        if provenance is not None:
-            _record_provenance(provenance, rule, fact, bindings, context)
     if stats is not None and fired:
         stats.derivations += fired
         stats.fire(rule.label or rule.head.pred, fired)
     return produced
+
+
+def _flat_head_spec(rule: EngineRule, flat) -> Optional[tuple]:
+    """Head template in register terms: ``(is_slot, slot_or_const)`` pairs.
+
+    None when some head variable has no register (not bound by the body's
+    positive literals) — the generic path then reports the safety error.
+    """
+    spec = flat.head_spec
+    if spec is None:
+        slot_of = flat.slot_of
+        entries: Optional[list] = []
+        for term in rule.head.all_args:
+            if isinstance(term, Variable):
+                slot = slot_of.get(term.name)
+                if slot is None:
+                    entries = None
+                    break
+                entries.append((True, slot))
+            else:  # head_ctor() ensured only Variable/Constant occur
+                entries.append((False, term.value))
+        spec = flat.head_spec = (
+            tuple(entries) if entries is not None else False)
+    return spec if spec is not False else None
+
+
+def _apply_rule_flat(flat, spec: tuple, db: Database, context: EvalContext,
+                     delta_relations, delta_position,
+                     head_relation: Relation, produced: set) -> int:
+    """Register-based rule application; returns the number of firings."""
+    head_tuples = head_relation.tuples
+    fired = 0
+
+    def emit(registers: list) -> None:
+        nonlocal fired
+        fired += 1
+        fact = tuple([registers[payload] if is_slot else payload
+                      for is_slot, payload in spec])
+        if fact in head_tuples or fact in produced:
+            return
+        produced.add(fact)
+
+    run_flat(flat, db, context, delta_relations, delta_position, emit)
+    return fired
 
 
 def _record_provenance(provenance: ProvenanceStore, rule: EngineRule,
@@ -326,7 +507,7 @@ def apply_aggregate_rule(rule: EngineRule, db: Database, context: EvalContext,
     ]
     fired = 0
     for bindings in solve(rule.body, db, context,
-                          plan=rule.plan(context, None)):
+                          plan=rule.plan(context, None, db=db, stats=stats)):
         signature = tuple(sorted(bindings.items(),
                                  key=lambda pair: pair[0]))
         if signature in seen_signatures:
@@ -399,11 +580,11 @@ def eval_stratum(stratum: Stratum, db: Database, context: EvalContext,
         if not new_facts:
             return
         relation = db.rel(pred)
-        for fact in new_facts:
-            if relation.add(fact):
-                added.setdefault(pred, set()).add(fact)
-                delta_pool.setdefault(pred, set()).add(fact)
-                stats.new_facts += 1
+        fresh = [fact for fact in new_facts if relation.add(fact)]
+        if fresh:
+            added.setdefault(pred, set()).update(fresh)
+            delta_pool.setdefault(pred, set()).update(fresh)
+            stats.new_facts += len(fresh)
 
     with stats.capture_indexes():
         # 1. Aggregate rules: bodies live strictly below this stratum.
@@ -423,13 +604,15 @@ def eval_stratum(stratum: Stratum, db: Database, context: EvalContext,
             record.rounds += 1
             record.delta_sizes.append(
                 sum(len(facts) for facts in delta.values()))
+            delta_rels = {pred: Relation.wrap(pred, facts)
+                          for pred, facts in delta.items()}
             next_delta: FactSet = {}
             for rule in stratum.rules:
                 for position in rule.positive_positions():
                     literal = rule.body[position]
                     if literal.atom.pred in delta:
-                        merge(apply_rule(rule, db, context, delta, position,
-                                         provenance, stats),
+                        merge(apply_rule(rule, db, context, delta_rels,
+                                         position, provenance, stats),
                               rule.head.pred, next_delta)
             delta = next_delta
 
@@ -439,13 +622,15 @@ def eval_stratum(stratum: Stratum, db: Database, context: EvalContext,
             record.rounds += 1
             record.delta_sizes.append(
                 sum(len(facts) for facts in delta.values()))
+            delta_rels = {pred: Relation.wrap(pred, facts)
+                          for pred, facts in delta.items()}
             next_delta = {}
             for rule in stratum.rules:
                 for position in rule.positive_positions():
                     literal = rule.body[position]
                     if literal.atom.pred in delta:
-                        merge(apply_rule(rule, db, context, delta, position,
-                                         provenance, stats),
+                        merge(apply_rule(rule, db, context, delta_rels,
+                                         position, provenance, stats),
                               rule.head.pred, next_delta)
             delta = next_delta
 
@@ -499,8 +684,8 @@ def propagate_insertions(strata: list, db: Database, context: EvalContext,
     changed: FactSet = {pred: set(facts) for pred, facts in inserted.items()}
     total_added: FactSet = {}
     for stratum in strata:
-        relevant = _stratum_reads(stratum) | set(stratum.preds)
-        if not (relevant & set(changed)):
+        relevant = stratum.reads | stratum.preds
+        if not (relevant & changed.keys()):
             continue
         if stratum.nonmonotone:
             added, removed = recompute_stratum(stratum, db, context, edb_facts,
@@ -520,13 +705,6 @@ def propagate_insertions(strata: list, db: Database, context: EvalContext,
                 changed.setdefault(pred, set()).update(facts)
                 total_added.setdefault(pred, set()).update(facts)
     return total_added
-
-
-def _stratum_reads(stratum: Stratum) -> set:
-    reads: set = set()
-    for rule in list(stratum.rules) + list(stratum.agg_rules):
-        reads |= rule.body_preds()
-    return reads
 
 
 def recompute_stratum(stratum: Stratum, db: Database, context: EvalContext,

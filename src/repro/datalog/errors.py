@@ -39,6 +39,16 @@ class StratificationError(ReproError):
     """The program has negation or aggregation inside a recursive cycle."""
 
 
+class IndexIntegrityError(ReproError):
+    """A relation's hash index disagrees with its tuple set.
+
+    Raised by :meth:`repro.datalog.database.Relation.discard` when index
+    maintenance is found to have diverged — always a bug in the engine,
+    never a user error, so it surfaces loudly instead of being swallowed
+    (a silently stale index returns *wrong join results*, which in a trust
+    engine means wrong authorization decisions)."""
+
+
 class TypeError_(ReproError):
     """A static or dynamic type-declaration constraint failed."""
 

@@ -59,8 +59,8 @@ def propagate_deletions_from(strata: list, db: Database, context: EvalContext,
     pending_added: FactSet = {}
 
     for stratum in strata:
-        reads = _stratum_reads(stratum) | set(stratum.preds)
-        if not (reads & (set(pending_removed) | set(pending_added))):
+        reads = stratum.reads | stratum.preds
+        if not (reads & (pending_removed.keys() | pending_added.keys())):
             continue
         if stratum.nonmonotone:
             added, removed = recompute_stratum(stratum, db, context, edb_facts,
@@ -80,29 +80,21 @@ def propagate_deletions_from(strata: list, db: Database, context: EvalContext,
     return {pred: facts for pred, facts in net_removed.items() if facts}
 
 
-def _stratum_reads(stratum: Stratum) -> set:
-    reads: set = set()
-    for rule in list(stratum.rules) + list(stratum.agg_rules):
-        reads |= rule.body_preds()
-    return reads
-
-
 def _dred_stratum(stratum: Stratum, db: Database, context: EvalContext,
                   deleted_below: FactSet,
                   edb_facts: Optional[Callable[[str], set]],
                   provenance: Optional[ProvenanceStore],
                   stats: Optional[EvalStats]) -> tuple:
     """DRed one positive stratum.  Returns ``(added, removed)`` for it."""
-    # -- Phase 0: a shadow view restoring the deleted facts, so that
-    # over-deletion joins see the pre-deletion state.
-    involved = set(stratum.preds) | _stratum_reads(stratum)
-    shadow = Database()
-    shadow.relations = dict(db.relations)
-    for pred in involved:
-        restored = Relation(pred, db.tuples(pred))
-        for fact in deleted_below.get(pred, ()):
+    # -- Phase 0: a COW shadow restoring the deleted facts, so that
+    # over-deletion joins see the pre-deletion state.  Only relations that
+    # actually had deletions are unshared (by the first ``add``); every
+    # other relation is read through the shared O(1) view.
+    shadow = db.snapshot()
+    for pred, facts in deleted_below.items():
+        restored = shadow.rel(pred)
+        for fact in facts:
             restored.add(fact)
-        shadow.relations[pred] = restored
 
     # -- Phase 1: over-delete.
     overdeleted: FactSet = {}
@@ -111,14 +103,15 @@ def _dred_stratum(stratum: Stratum, db: Database, context: EvalContext,
     }
     while frontier:
         next_frontier: FactSet = {}
-        delta_rels = {pred: Relation(pred, facts) for pred, facts in frontier.items()}
+        delta_rels = {pred: Relation.wrap(pred, facts)
+                      for pred, facts in frontier.items()}
         for rule in stratum.rules:
             for position, item in enumerate(rule.body):
                 if not isinstance(item, Literal) or item.negated:
                     continue
                 if item.atom.pred not in frontier:
                     continue
-                plan = rule.plan(context, position)
+                plan = rule.plan(context, position, db=shadow, stats=stats)
                 for bindings in solve(rule.body, shadow, context, plan=plan,
                                       delta=delta_rels, delta_position=position):
                     fact = instantiate_head(rule.head, bindings, context)

@@ -196,12 +196,13 @@ def query_magic(rules: Iterable[Rule], db: Database, query: Atom,
     """Run a magic-sets query on a scratch overlay of ``db``.
 
     Returns the set of answer facts for the query predicate.  The overlay
-    shares EDB relations but keeps adorned/magic derivations out of the
+    is a copy-on-write snapshot: EDB relations are shared O(1), magic and
+    adorned derivations land in overlay-only relations, and even a rewrite
+    that wrote to a shared predicate would unshare rather than corrupt the
     caller's database.
     """
     program = magic_transform(rules, query)
-    overlay = Database()
-    overlay.relations = dict(db.relations)  # shared EDB, new names land here
+    overlay = db.snapshot()
     overlay.add(program.seed_pred, program.seed_fact)
     evaluate(program.rules, overlay, context or EvalContext())
     return program.answers(overlay)

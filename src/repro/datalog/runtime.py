@@ -8,8 +8,18 @@ fixes and index use land in one place.
 A *binding* is a plain ``dict`` mapping variable names to ground Python
 values.  Plans order body items so that every comparison, builtin call and
 negated literal runs as soon as its inputs are bound (they are cheap
-filters), and positive literals are chosen greedily by how many of their
-columns are already bound (so the relation index can be used).
+filters).  Positive literals are ordered by a *cost model* when live
+relation sizes are available (estimated scan cost, each bound column
+assumed 10x selective), falling back to the greedy most-bound-columns
+heuristic otherwise; ties always break the greedy way, so plans only
+change when cardinalities actually justify it.
+
+Plans are *compiled*: scheduling decides once, per step, which argument
+positions are index-probe keys, which bind fresh variables, and which need
+an intra-tuple equality check, so the per-row inner loop does no term
+classification at all.  A compiled plan assumes the set of initially-bound
+variables it was built for (:attr:`Plan.assumes`); :func:`solve` falls
+back to building a fresh plan when handed bindings with a different shape.
 """
 
 from __future__ import annotations
@@ -183,57 +193,518 @@ def literal_holds(atom: Atom, relation: Relation, bindings: Bindings,
 # Plans
 # ---------------------------------------------------------------------------
 
+#: Assumed selectivity of one bound column in the cost model: each bound
+#: column is taken to keep 1/10th of the relation's rows.
+_BOUND_COLUMN_SELECTIVITY = 0.1
+
+#: The cost model only overrides the boundness-greedy order when its
+#: estimate is at least this many times cheaper.  Near-ties go to the
+#: greedy choice: with no per-column statistics the estimates are rough,
+#: and preferring a small unbound scan over an indexed probe multiplies
+#: branching when the estimates are close.
+_REORDER_MARGIN = 4.0
+
+#: Below this many facts in every body relation the cost model is skipped
+#: entirely: any join order finishes in microseconds, while sized plans
+#: cost real build time and churn the plan cache as relations grow.
+_COST_MODEL_MIN_SIZE = 64
+
+
+def cardinality_band(size: int) -> int:
+    """Coarse size band for plan-cache keys: empty / small / per power of 4.
+
+    Below :data:`_COST_MODEL_MIN_SIZE` facts join order barely matters, so
+    every small size shares one band (rebuilding plans while a relation
+    fills up 1, 2, 3, … facts would thrash the cache); beyond that, one
+    band per 4x growth.  Bands deliberately trade cost-model reactivity
+    for cache stability: a plan only goes stale when some input relation
+    changes by an order of magnitude, which is when a different join
+    order could actually win.
+    """
+    if size < _COST_MODEL_MIN_SIZE:
+        return 1 if size else 0
+    return size.bit_length() >> 1
+
+
+class _LiteralOp:
+    """Compiled positive/negated literal step: precomputed access path.
+
+    ``key_positions`` are the argument positions probed through the
+    relation index; their values come from ``key_const`` (fully constant
+    key) or from filling ``key_template`` via ``key_var_slots`` /
+    ``key_eval_slots``.  ``free`` binds first-occurrence variables from the
+    matched row; ``checks`` are intra-tuple equalities for repeated free
+    variables (``p(X, X)``).
+    """
+
+    __slots__ = ("index", "item", "pred", "negated", "arity", "key_positions",
+                 "key_const", "key_template", "key_var_slots",
+                 "key_eval_slots", "free", "checks")
+
+    def __init__(self, index: int, item: "Literal", bound: set) -> None:
+        atom = item.atom
+        args = atom.all_args
+        self.index = index
+        self.item = item
+        self.pred = atom.pred
+        self.negated = item.negated
+        self.arity = len(args)
+        key_positions: list[int] = []
+        template: list = []
+        var_slots: list = []
+        eval_slots: list = []
+        free: list = []
+        checks: list = []
+        first_at: dict[str, int] = {}
+        for position, term in enumerate(args):
+            if isinstance(term, Variable):
+                name = term.name
+                if name in bound:
+                    key_positions.append(position)
+                    var_slots.append((len(template), name))
+                    template.append(None)
+                elif name in first_at:
+                    checks.append((position, first_at[name]))
+                else:
+                    first_at[name] = position
+                    free.append((position, name))
+            elif isinstance(term, Constant):
+                key_positions.append(position)
+                template.append(term.value)
+            else:
+                key_positions.append(position)
+                eval_slots.append((len(template), term))
+                template.append(None)
+        self.key_positions = tuple(key_positions)
+        self.key_template = template
+        self.key_var_slots = tuple(var_slots)
+        self.key_eval_slots = tuple(eval_slots)
+        self.key_const = tuple(template) if not (var_slots or eval_slots) else None
+        self.free = tuple(free)
+        self.checks = tuple(checks)
+
+    def _key(self, current: Bindings, context: EvalContext) -> tuple:
+        key = self.key_const
+        if key is not None:
+            return key
+        filled = list(self.key_template)
+        for slot, name in self.key_var_slots:
+            filled[slot] = current[name]
+        for slot, term in self.key_eval_slots:
+            try:
+                filled[slot] = eval_term(term, current, context)
+            except Unbound as exc:
+                raise SafetyError(
+                    f"argument {term!r} of {self.pred} is not bound at join time"
+                ) from exc
+        return tuple(filled)
+
+    def run(self, current: Bindings, cont, db: Database,
+            context: EvalContext, delta, delta_position) -> Iterator[Bindings]:
+        if delta is not None and self.index == delta_position:
+            source = delta.get(self.pred)
+            if source is None:
+                if self.negated:
+                    yield from cont(current)
+                return
+        else:
+            source = db.rel(self.pred)
+        stats = context.stats
+        if self.key_positions:
+            if stats is not None:
+                stats.literal_scans += 1
+            candidates = source.lookup(self.key_positions,
+                                       self._key(current, context))
+        else:
+            if stats is not None:
+                stats.literal_scans += 1
+                stats.full_scans += 1
+            candidates = source.tuples
+        arity = self.arity
+        checks = self.checks
+        if self.negated:
+            for row in candidates:
+                if len(row) != arity:
+                    continue
+                for position, first in checks:
+                    if row[position] != row[first]:
+                        break
+                else:
+                    return  # a witness exists: the negation fails
+            yield from cont(current)
+            return
+        free = self.free
+        if free:
+            for row in candidates:
+                if len(row) != arity:
+                    continue
+                ok = True
+                for position, first in checks:
+                    if row[position] != row[first]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                extended = current.copy()
+                for position, name in free:
+                    extended[name] = row[position]
+                yield from cont(extended)
+        else:
+            for row in candidates:
+                if len(row) != arity:
+                    continue
+                yield from cont(current)
+
+
+_FILTER, _ASSIGN_LEFT, _ASSIGN_RIGHT = 0, 1, 2
+
+
+class _CompareOp:
+    """Compiled comparison step; '=' assignment direction decided statically."""
+
+    __slots__ = ("index", "item", "mode")
+
+    def __init__(self, index: int, item: Comparison, bound: set) -> None:
+        self.index = index
+        self.item = item
+        self.mode = _FILTER
+        if item.op == "=":
+            left_unbound = (isinstance(item.left, Variable)
+                            and item.left.name not in bound)
+            right_unbound = (isinstance(item.right, Variable)
+                             and item.right.name not in bound)
+            if left_unbound and not right_unbound:
+                self.mode = _ASSIGN_LEFT
+            elif right_unbound and not left_unbound:
+                self.mode = _ASSIGN_RIGHT
+
+    def run(self, current: Bindings, cont, db: Database,
+            context: EvalContext, delta, delta_position) -> Iterator[Bindings]:
+        item = self.item
+        mode = self.mode
+        if mode == _ASSIGN_LEFT:
+            extended = current.copy()
+            extended[item.left.name] = eval_term(item.right, current, context)
+            yield from cont(extended)
+            return
+        if mode == _ASSIGN_RIGHT:
+            extended = current.copy()
+            extended[item.right.name] = eval_term(item.left, current, context)
+            yield from cont(extended)
+            return
+        left = eval_term(item.left, current, context)
+        right = eval_term(item.right, current, context)
+        if apply_comparison(item.op, left, right):
+            yield from cont(current)
+
+
+class _BuiltinOp:
+    """Compiled builtin call: definition and argument positions resolved."""
+
+    __slots__ = ("index", "item", "definition", "input_args", "output_args")
+
+    def __init__(self, index: int, item: BuiltinCall, definition) -> None:
+        self.index = index
+        self.item = item
+        self.definition = definition
+        self.input_args = tuple(item.args[p] for p in definition.input_positions)
+        self.output_args = tuple(item.args[p] for p in definition.output_positions)
+
+    def run(self, current: Bindings, cont, db: Database,
+            context: EvalContext, delta, delta_position) -> Iterator[Bindings]:
+        inputs = tuple(eval_term(arg, current, context)
+                       for arg in self.input_args)
+        for row in invoke_builtin(self.definition, inputs, context.payload):
+            extended = current.copy()
+            ok = True
+            for out_value, target in zip(row, self.output_args):
+                if isinstance(target, Variable):
+                    existing = extended.get(target.name, _MISSING)
+                    if existing is _MISSING:
+                        extended[target.name] = out_value
+                    elif existing != out_value:
+                        ok = False
+                        break
+                else:
+                    if eval_term(target, extended, context) != out_value:
+                        ok = False
+                        break
+            if ok:
+                yield from cont(extended)
+
+
+class _FlatStep:
+    """One literal of a flat (register-based) plan; see :class:`FlatPlan`."""
+
+    __slots__ = ("index", "pred", "negated", "arity", "key_positions",
+                 "key_const", "key_template", "var_fills", "free", "checks")
+
+    def __init__(self, op: "_LiteralOp", slot_of: dict) -> None:
+        self.index = op.index
+        self.pred = op.pred
+        self.negated = op.negated
+        self.arity = op.arity
+        self.key_positions = op.key_positions
+        self.key_const = op.key_const
+        self.key_template = op.key_template
+        self.var_fills = tuple(
+            (template_slot, slot_of[name])
+            for template_slot, name in op.key_var_slots)
+        if op.negated:
+            self.free = ()  # existential: no bindings escape a negation
+        else:
+            self.free = tuple(
+                (position, slot_of.setdefault(name, len(slot_of)))
+                for position, name in op.free)
+        self.checks = op.checks
+
+
+class FlatPlan:
+    """A register-compiled all-literal conjunction.
+
+    Variables live in numbered slots instead of binding dicts, so the
+    innermost join loop does no dict copies and no generator suspensions
+    — :func:`run_flat` walks it with plain recursion and a callback.
+    Only plans whose every step is a literal with const/var arguments
+    compile this way; anything fancier keeps the generic op pipeline.
+    """
+
+    __slots__ = ("steps", "nslots", "slot_of", "head_spec")
+
+    def __init__(self, steps: tuple, slot_of: dict) -> None:
+        self.steps = steps
+        self.nslots = len(slot_of)
+        self.slot_of = slot_of
+        self.head_spec = None  # lazily cached by apply_rule
+
+
+def _compile_flat(plan: "Plan") -> Optional[FlatPlan]:
+    if plan.assumes:
+        return None
+    slot_of: dict[str, int] = {}
+    steps = []
+    for op in plan.ops:
+        if op.__class__ is not _LiteralOp or op.key_eval_slots:
+            return None
+        steps.append(_FlatStep(op, slot_of))
+    return FlatPlan(tuple(steps), slot_of)
+
+
+def run_flat(flat: FlatPlan, db: Database, context: EvalContext,
+             delta, delta_position, emit) -> None:
+    """Run a flat plan, invoking ``emit(registers)`` per solution.
+
+    ``registers`` is reused across solutions — ``emit`` must read, not
+    keep, the list.  Counts ``literal_scans``/``full_scans`` exactly like
+    the generic pipeline.
+    """
+    registers = flat.nslots * [None]
+    steps = flat.steps
+    nsteps = len(steps)
+    stats = context.stats
+
+    def run(number: int) -> None:
+        if number == nsteps:
+            emit(registers)
+            return
+        step = steps[number]
+        if delta is not None and step.index == delta_position:
+            source = delta.get(step.pred)
+            if source is None:
+                if step.negated:
+                    run(number + 1)
+                return
+        else:
+            source = db.rel(step.pred)
+        if step.key_positions:
+            if stats is not None:
+                stats.literal_scans += 1
+            key = step.key_const
+            if key is None:
+                filled = step.key_template.copy()
+                for template_slot, register in step.var_fills:
+                    filled[template_slot] = registers[register]
+                key = tuple(filled)
+            # Zero-copy bucket: rule application stages its output, the
+            # database is not mutated while this plan runs.
+            candidates = source.live_bucket(step.key_positions, key)
+        else:
+            if stats is not None:
+                stats.literal_scans += 1
+                stats.full_scans += 1
+            candidates = source.tuples
+        arity = step.arity
+        checks = step.checks
+        free = step.free
+        if step.negated:
+            for row in candidates:
+                if len(row) != arity:
+                    continue
+                for position, first in checks:
+                    if row[position] != row[first]:
+                        break
+                else:
+                    return  # a witness exists: the negation fails
+            run(number + 1)
+            return
+        following = number + 1
+        if checks:
+            for row in candidates:
+                if len(row) != arity:
+                    continue
+                ok = True
+                for position, first in checks:
+                    if row[position] != row[first]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                for position, register in free:
+                    registers[register] = row[position]
+                run(following)
+        elif following == nsteps:
+            # Terminal literal: emit inline, no frame per solution.
+            for row in candidates:
+                if len(row) != arity:
+                    continue
+                for position, register in free:
+                    registers[register] = row[position]
+                emit(registers)
+        else:
+            for row in candidates:
+                if len(row) != arity:
+                    continue
+                for position, register in free:
+                    registers[register] = row[position]
+                run(following)
+
+    run(0)
+
+
 @dataclass
 class Plan:
-    """An execution order for a conjunction; built once, reused every round."""
+    """An execution order for a conjunction; built once, reused every round.
+
+    ``steps`` keeps the historical ``(item_index, item)`` shape; ``ops``
+    carries the compiled executor for each step.  ``assumes`` is the
+    initially-bound variable set the compilation relied on — reuse with a
+    different binding shape makes :func:`solve` rebuild.  ``reordered`` is
+    True when the cost model picked a different positive-literal order
+    than the boundness-greedy baseline would have.
+    """
 
     steps: tuple
+    ops: tuple = ()
+    assumes: frozenset = frozenset()
+    reordered: bool = False
+    _flat: Any = False
 
     def __iter__(self):
         return iter(self.steps)
 
+    def flat(self) -> Optional[FlatPlan]:
+        """The register-compiled form, or None when unsupported (cached)."""
+        if self._flat is False:
+            self._flat = _compile_flat(self)
+        return self._flat
+
+
+def relation_sizes(items: tuple, db: Optional[Database]) -> Optional[dict]:
+    """Live cardinalities of the positive body predicates (cost-model input).
+
+    Returns None — "use the greedy heuristic" — when there is no database
+    or every body relation is below :data:`_COST_MODEL_MIN_SIZE`.
+    """
+    if db is None:
+        return None
+    sizes: dict[str, int] = {}
+    worth_it = False
+    for item in items:
+        if isinstance(item, Literal) and not item.negated:
+            relation = db.get(item.atom.pred)
+            size = len(relation.tuples) if relation is not None else 0
+            sizes[item.atom.pred] = size
+            if size >= _COST_MODEL_MIN_SIZE:
+                worth_it = True
+    return sizes if worth_it else None
+
 
 def build_plan(items: tuple, initially_bound: frozenset = frozenset(),
                first: Optional[int] = None,
-               builtins: Optional[BuiltinRegistry] = None) -> Plan:
-    """Order ``items`` for evaluation.
+               builtins: Optional[BuiltinRegistry] = None,
+               sizes: Optional[dict] = None) -> Plan:
+    """Order ``items`` for evaluation and compile per-step access paths.
 
     ``first`` optionally forces one positive literal to the front (the
-    semi-naive delta position).  Raises :class:`SafetyError` when some item
-    can never have its inputs bound (unsafe rule).
+    semi-naive delta position).  ``sizes`` maps positive body predicates to
+    their live cardinalities; when provided, positive literals are chosen
+    by estimated scan cost instead of bound-column count alone.  Raises
+    :class:`SafetyError` when some item can never have its inputs bound
+    (unsafe rule).
     """
-    remaining = list(range(len(items)))
+    count = len(items)
+    remaining = list(range(count))
     bound: set[str] = set(initially_bound)
     order: list[int] = []
+    ops: list = []
+    reordered = False
+
+    # Per-item precomputation (build_plan runs on every plan-cache miss,
+    # so the scheduling loop must not re-derive variable sets per probe).
+    item_vars: list[set] = [
+        {v.name for v in item.variables()} for item in items
+    ]
+    positive: list[bool] = [
+        isinstance(item, Literal) and not item.negated for item in items
+    ]
+    comp_sides: dict[int, tuple] = {}
+    builtin_defs: dict[int, Any] = {}
+    builtin_input_vars: dict[int, list] = {}
+    for index, item in enumerate(items):
+        if isinstance(item, Comparison):
+            comp_sides[index] = (term_vars(item.left), term_vars(item.right))
+        elif isinstance(item, BuiltinCall):
+            definition = builtins.lookup(item.name) if builtins else None
+            if definition is None:
+                raise SafetyError(f"unknown builtin {item.name!r}")
+            if definition.arity != len(item.args):
+                raise SafetyError(
+                    f"builtin {item.name!r} expects {definition.arity} args, "
+                    f"got {len(item.args)}"
+                )
+            builtin_defs[index] = definition
+            builtin_input_vars[index] = [
+                term_vars(item.args[position])
+                for position in definition.input_positions
+            ]
+        elif not isinstance(item, Literal):
+            raise TypeError(f"unexpected body item {item!r}")  # pragma: no cover
 
     # Variables occurring only inside one negated literal are existential
     # within the negation ("no matching tuple exists"), e.g. the paper's
     # dd4 constraint `... -> !delegates(me,_,P)`.  A negated literal is
     # ready once its *shared* variables are bound.
     occurrences: dict[str, int] = {}
-    for item in items:
-        for name in {v.name for v in item.variables()}:
+    for vars_in in item_vars:
+        for name in vars_in:
             occurrences[name] = occurrences.get(name, 0) + 1
-
-    def shared_vars(item) -> set[str]:
-        return {
-            v.name for v in item.variables()
-            if occurrences.get(v.name, 0) > 1 or v.name in initially_bound
+    shared_vars: dict[int, set] = {
+        index: {
+            name for name in item_vars[index]
+            if occurrences[name] > 1 or name in initially_bound
         }
-
-    def is_positive_literal(index: int) -> bool:
-        item = items[index]
-        return isinstance(item, Literal) and not item.negated
+        for index, item in enumerate(items)
+        if isinstance(item, Literal) and item.negated
+    }
 
     def ready(index: int) -> bool:
         item = items[index]
         if isinstance(item, Literal):
             if not item.negated:
                 return True
-            return shared_vars(item) <= bound
+            return shared_vars[index] <= bound
         if isinstance(item, Comparison):
-            left_vars = term_vars(item.left)
-            right_vars = term_vars(item.right)
+            left_vars, right_vars = comp_sides[index]
             if item.op == "=":
                 if left_vars <= bound and right_vars <= bound:
                     return True
@@ -244,37 +715,75 @@ def build_plan(items: tuple, initially_bound: frozenset = frozenset(),
                     return True
                 return False
             return left_vars | right_vars <= bound
-        if isinstance(item, BuiltinCall):
-            definition = builtins.lookup(item.name) if builtins else None
-            if definition is None:
-                raise SafetyError(f"unknown builtin {item.name!r}")
-            if definition.arity != len(item.args):
-                raise SafetyError(
-                    f"builtin {item.name!r} expects {definition.arity} args, "
-                    f"got {len(item.args)}"
-                )
-            for position in definition.input_positions:
-                if not term_vars(item.args[position]) <= bound:
-                    return False
-            return True
-        raise TypeError(f"unexpected body item {item!r}")  # pragma: no cover
+        for input_vars in builtin_input_vars[index]:
+            if not input_vars <= bound:
+                return False
+        return True
 
     def bind_outputs(index: int) -> None:
         item = items[index]
-        if isinstance(item, Literal) and not item.negated:
-            bound.update(v.name for v in item.variables())
-        elif isinstance(item, Comparison) and item.op == "=":
-            bound.update(term_vars(item.left) | term_vars(item.right))
-        elif isinstance(item, BuiltinCall):
-            definition = builtins.lookup(item.name) if builtins else None
-            if definition is not None:
-                for position in definition.output_positions:
-                    bound.update(term_vars(item.args[position]))
+        if isinstance(item, Literal):
+            if not item.negated:
+                bound.update(item_vars[index])
+        elif isinstance(item, Comparison):
+            if item.op == "=":
+                bound.update(item_vars[index])
+        else:
+            definition = builtin_defs[index]
+            for position in definition.output_positions:
+                bound.update(term_vars(item.args[position]))
+
+    def compile_op(index: int):
+        """Compile ``items[index]`` against the *current* bound set."""
+        item = items[index]
+        if isinstance(item, Literal):
+            return _LiteralOp(index, item, bound)
+        if isinstance(item, Comparison):
+            return _CompareOp(index, item, bound)
+        return _BuiltinOp(index, item, builtin_defs[index])
+
+    def schedule(index: int) -> None:
+        ops.append(compile_op(index))
+        order.append(index)
+        remaining.remove(index)
+        bind_outputs(index)
+
+    # Per-positive-literal cost-model inputs: argument variable names plus
+    # the count of statically-ground arguments (constants, var-free terms).
+    lit_arg_vars: dict[int, list] = {}
+    lit_static_bound: dict[int, int] = {}
+    if sizes is not None:
+        for index, item in enumerate(items):
+            if not positive[index]:
+                continue
+            arg_vars: list[str] = []
+            static = 0
+            for term in item.atom.all_args:
+                if isinstance(term, Variable):
+                    arg_vars.append(term.name)
+                elif isinstance(term, Constant) or not term_vars(term):
+                    static += 1
+                else:
+                    # an Expr's vars may be bound later; count it bound
+                    # only once every one of its vars is (checked live).
+                    arg_vars.append(term)  # type: ignore[arg-type]
+            lit_arg_vars[index] = arg_vars
+            lit_static_bound[index] = static
+
+    def scan_cost(index: int) -> float:
+        """Estimated rows touched: size shrunk 10x per bound column."""
+        columns = lit_static_bound[index]
+        for entry in lit_arg_vars[index]:
+            if entry.__class__ is str:
+                if entry in bound:
+                    columns += 1
+            elif term_vars(entry) <= bound:
+                columns += 1
+        return (sizes.get(items[index].atom.pred, 0)
+                * _BOUND_COLUMN_SELECTIVITY ** columns)
 
     if first is not None:
-        order.append(first)
-        remaining.remove(first)
-        bind_outputs(first)
+        schedule(first)
 
     while remaining:
         # 1. flush every ready filter/binder that is not a positive literal
@@ -282,30 +791,36 @@ def build_plan(items: tuple, initially_bound: frozenset = frozenset(),
         while progressed:
             progressed = False
             for index in list(remaining):
-                if not is_positive_literal(index) and ready(index):
-                    order.append(index)
-                    remaining.remove(index)
-                    bind_outputs(index)
+                if not positive[index] and ready(index):
+                    schedule(index)
                     progressed = True
         if not remaining:
             break
-        # 2. choose the next positive literal: most bound columns, then source order
-        candidates = [i for i in remaining if is_positive_literal(i)]
+        # 2. choose the next positive literal: cheapest estimated scan when
+        # cardinalities are known, else most bound columns; ties (and the
+        # no-cost-model path) fall back to boundness then source order.
+        candidates = [i for i in remaining if positive[i]]
         if not candidates:
             unready = [repr(items[i]) for i in remaining]
             raise SafetyError(f"unsafe conjunction; cannot schedule: {unready}")
 
-        def boundness(index: int) -> tuple:
-            item = items[index]
-            vars_in = {v.name for v in item.variables()}
-            return (len(vars_in & bound), -index)
+        if len(candidates) == 1:
+            schedule(candidates[0])
+            continue
+        ranked = [(len(item_vars[i] & bound), i) for i in candidates]
+        greedy = max(ranked, key=lambda pair: (pair[0], -pair[1]))[1]
+        best = greedy
+        if sizes is not None:
+            cheapest, _, candidate = min(
+                (scan_cost(i), -columns, i) for columns, i in ranked)
+            if (candidate != greedy
+                    and cheapest * _REORDER_MARGIN < scan_cost(greedy)):
+                best = candidate
+                reordered = True
+        schedule(best)
 
-        best = max(candidates, key=boundness)
-        order.append(best)
-        remaining.remove(best)
-        bind_outputs(best)
-
-    return Plan(tuple((i, items[i]) for i in order))
+    return Plan(tuple((i, items[i]) for i in order), tuple(ops),
+                frozenset(initially_bound), reordered)
 
 
 # ---------------------------------------------------------------------------
@@ -321,92 +836,33 @@ def solve(items: tuple, db: Database, context: EvalContext,
 
     ``delta``/``delta_position`` implement semi-naive evaluation: the
     literal at ``delta_position`` scans the delta relation instead of the
-    full one.
+    full one.  A supplied ``plan`` is honoured only when its compiled
+    binding assumptions match ``bindings``; otherwise a fresh cost-based
+    plan is built from the live relation sizes.
     """
     bindings = dict(bindings or {})
-    if plan is None:
+    if plan is None or plan.assumes != bindings.keys():
         plan = build_plan(items, frozenset(bindings), first=delta_position,
-                          builtins=context.builtins)
+                          builtins=context.builtins,
+                          sizes=relation_sizes(items, db))
+        stats = context.stats
+        if stats is not None:
+            stats.plans_built += 1
+            if plan.reordered:
+                stats.reorder_wins += 1
 
-    def run(step_index: int, current: Bindings) -> Iterator[Bindings]:
-        if step_index >= len(plan.steps):
-            yield current
-            return
-        item_index, item = plan.steps[step_index]
-        if isinstance(item, Literal):
-            source: Relation
-            if delta is not None and item_index == delta_position:
-                source = delta.get(item.atom.pred) or Relation(item.atom.pred)
-            else:
-                source = db.rel(item.atom.pred)
-            if item.negated:
-                if not literal_holds(item.atom, source, current, context):
-                    yield from run(step_index + 1, current)
-                return
-            for extended in match_literal(item.atom, source, current, context):
-                yield from run(step_index + 1, extended)
-            return
-        if isinstance(item, Comparison):
-            yield from _solve_comparison(item, current, context, plan, step_index, run)
-            return
-        if isinstance(item, BuiltinCall):
-            yield from _solve_builtin(item, current, context, plan, step_index, run)
-            return
-        raise TypeError(f"unexpected body item {item!r}")  # pragma: no cover
+    # Chain the compiled ops back-to-front into continuation closures so a
+    # solution bubbles through one generator frame per step, with no
+    # per-step dispatch trampoline.
+    def tail(current: Bindings) -> Iterator[Bindings]:
+        yield current
 
-    yield from run(0, bindings)
+    cont = tail
+    for op in reversed(plan.ops):
+        def cont(current, _run=op.run, _cont=cont):
+            return _run(current, _cont, db, context, delta, delta_position)
 
-
-def _solve_comparison(item: Comparison, current: Bindings, context: EvalContext,
-                      plan: Plan, step_index: int, run) -> Iterator[Bindings]:
-    if item.op == "=":
-        left_unbound = isinstance(item.left, Variable) and item.left.name not in current
-        right_unbound = isinstance(item.right, Variable) and item.right.name not in current
-        if left_unbound and not right_unbound:
-            value = eval_term(item.right, current, context)
-            extended = dict(current)
-            extended[item.left.name] = value
-            yield from run(step_index + 1, extended)
-            return
-        if right_unbound and not left_unbound:
-            value = eval_term(item.left, current, context)
-            extended = dict(current)
-            extended[item.right.name] = value
-            yield from run(step_index + 1, extended)
-            return
-    left = eval_term(item.left, current, context)
-    right = eval_term(item.right, current, context)
-    if apply_comparison(item.op, left, right):
-        yield from run(step_index + 1, current)
-
-
-def _solve_builtin(item: BuiltinCall, current: Bindings, context: EvalContext,
-                   plan: Plan, step_index: int, run) -> Iterator[Bindings]:
-    definition = context.builtins.lookup(item.name)
-    if definition is None:
-        raise SafetyError(f"unknown builtin {item.name!r}")
-    inputs = tuple(
-        eval_term(item.args[p], current, context)
-        for p in definition.input_positions
-    )
-    for row in invoke_builtin(definition, inputs, context.payload):
-        extended = dict(current)
-        ok = True
-        for out_value, position in zip(row, definition.output_positions):
-            target = item.args[position]
-            if isinstance(target, Variable):
-                existing = extended.get(target.name, _MISSING)
-                if existing is _MISSING:
-                    extended[target.name] = out_value
-                elif existing != out_value:
-                    ok = False
-                    break
-            else:
-                if eval_term(target, extended, context) != out_value:
-                    ok = False
-                    break
-        if ok:
-            yield from run(step_index + 1, extended)
+    yield from cont(bindings)
 
 
 _MISSING = object()

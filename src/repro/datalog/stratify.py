@@ -159,6 +159,7 @@ class Stratum:
     preds: frozenset
     rules: list            # non-aggregate rules
     agg_rules: list        # aggregate rules (evaluated once, first)
+    _reads: frozenset = None  # lazily cached body predicates
 
     @property
     def has_negation(self) -> bool:
@@ -172,6 +173,17 @@ class Stratum:
     def nonmonotone(self) -> bool:
         """True when incremental insertion cannot use plain semi-naive."""
         return self.has_negation or bool(self.agg_rules)
+
+    @property
+    def reads(self) -> frozenset:
+        """Every predicate any of this stratum's rules reads (cached —
+        the incremental propagators consult this on every delta batch)."""
+        if self._reads is None:
+            names: set = set()
+            for rule in list(self.rules) + list(self.agg_rules):
+                names |= rule.body_preds()
+            self._reads = frozenset(names)
+        return self._reads
 
 
 def stratify(rules: list) -> list[Stratum]:

@@ -119,6 +119,14 @@ class Workspace:
         self._txn_snapshot: Optional[_Snapshot] = None
         self._txn_fresh: FactSet = {}
         self._txn_deleted: FactSet = {}
+        # EDB fact sets are shared with the transaction snapshot
+        # copy-on-write; preds in this set are owned by the current
+        # transaction and safe to mutate in place.
+        self._txn_edb_owned: set[str] = set()
+        # Compiled constraint-check plans, keyed by constraint identity;
+        # must be dropped whenever the constraint list changes (including
+        # rollback, which can free constraints added during the txn).
+        self._constraint_plans: dict = {}
         self.context = EvalContext(
             builtins=self.builtins,
             instantiate_quote=self._instantiate_quote,
@@ -224,7 +232,7 @@ class Workspace:
                     raise WorkspaceError(
                         f"cannot retract {pred}{fact!r}: not an asserted fact"
                     )
-                base.discard(fact)
+                self._edb_for_write(pred).discard(fact)
                 self.db.discard(pred, fact)
                 self._txn_deleted.setdefault(pred, set()).add(fact)
 
@@ -239,6 +247,7 @@ class Workspace:
             self.constraints = [
                 c for c in self.constraints if c.label != label
             ]
+            self._constraint_plans = {}
             return before - len(self.constraints)
 
     # ------------------------------------------------------------------
@@ -314,6 +323,7 @@ class Workspace:
             self._txn_snapshot = self._take_snapshot()
             self._txn_fresh = {}
             self._txn_deleted = {}
+            self._txn_edb_owned = set()
         self._txn_depth += 1
         try:
             yield self
@@ -332,6 +342,10 @@ class Workspace:
                     raise
 
     def _take_snapshot(self) -> _Snapshot:
+        """O(changed state), not O(total facts): the derived database is a
+        COW snapshot and the EDB dict is shared shallowly — per-pred fact
+        sets are copied lazily by :meth:`_edb_for_write` on first mutation.
+        """
         from dataclasses import replace
         catalog_copy = {
             name: replace(info, arg_types=list(info.arg_types))
@@ -339,20 +353,41 @@ class Workspace:
         }
         return _Snapshot(
             db=self.db.snapshot(),
-            edb={pred: set(facts) for pred, facts in self.edb.items()},
+            edb=dict(self.edb),
             activated=dict(self._activated),
             constraints=list(self.constraints),
             reified=set(self._reified),
             catalog=catalog_copy,
         )
 
+    def _edb_for_write(self, pred: str) -> set:
+        """The EDB fact set for ``pred``, unshared from the txn snapshot."""
+        base = self.edb.get(pred)
+        if base is None:
+            base = set()
+            self.edb[pred] = base
+            self._txn_edb_owned.add(pred)
+        elif pred not in self._txn_edb_owned:
+            base = set(base)
+            self.edb[pred] = base
+            self._txn_edb_owned.add(pred)
+        return base
+
     def _rollback(self) -> None:
         snapshot = self._txn_snapshot
         if snapshot is None:  # pragma: no cover - defensive
             return
-        self.db = snapshot.db
+        # restore() keeps the live Relation objects (and their indexes)
+        # wherever the transaction never touched them.
+        self.db.restore(snapshot.db)
         self.edb = snapshot.edb
         self._activated = snapshot.activated
+        if (len(self.constraints) != len(snapshot.constraints)
+                or any(live is not saved for live, saved
+                       in zip(self.constraints, snapshot.constraints))):
+            # Constraints added in the rolled-back txn are being freed;
+            # their identity-keyed plans must not survive id() reuse.
+            self._constraint_plans = {}
         self.constraints = snapshot.constraints
         self._reified = snapshot.reified
         self.catalog._preds = snapshot.catalog
@@ -361,6 +396,7 @@ class Workspace:
         self._txn_snapshot = None
         self._txn_fresh = {}
         self._txn_deleted = {}
+        self._txn_edb_owned = set()
 
     def _commit(self) -> None:
         deleted = self._txn_deleted
@@ -368,7 +404,8 @@ class Workspace:
         if deleted:
             self._handle_deletions(deleted)
         self._run_loop()
-        violations = check_constraints(self.constraints, self.db, self.context)
+        violations = check_constraints(self.constraints, self.db, self.context,
+                                       plan_cache=self._constraint_plans)
         if violations:
             violation = violations[0]
             self.audit.append(AuditEvent("constraint_violation", {
@@ -387,9 +424,10 @@ class Workspace:
     def _assert_edb(self, pred: str, fact: tuple) -> bool:
         if self._txn_snapshot is None:
             raise WorkspaceError("EDB mutation outside a transaction")
-        base = self.edb.setdefault(pred, set())
-        if fact in base:
+        base = self.edb.get(pred)
+        if base is not None and fact in base:
             return False
+        base = self._edb_for_write(pred)
         base.add(fact)
         if self.db.add(pred, fact):
             self._txn_fresh.setdefault(pred, set()).add(fact)

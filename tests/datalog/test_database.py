@@ -1,6 +1,9 @@
-"""Relations, indexes, snapshots."""
+"""Relations, indexes, copy-on-write snapshots, index integrity."""
+
+import pytest
 
 from repro.datalog.database import Database, Relation
+from repro.datalog.errors import IndexIntegrityError
 
 
 class TestRelation:
@@ -46,6 +49,103 @@ class TestRelation:
         assert ("b",) not in clone
 
 
+class TestLookupStability:
+    def test_lookup_view_unaffected_by_later_insert(self):
+        relation = Relation("p", [("a", 1)])
+        view = relation.lookup((0,), ("a",))
+        relation.add(("a", 2))
+        assert view == [("a", 1)]
+
+    def test_scan_does_not_observe_mid_iteration_inserts(self):
+        # Regression: deriving into the relation being scanned used to
+        # extend the live bucket mid-iteration, so a semi-naive pass could
+        # observe its own round's output.
+        relation = Relation("r", [(0, 1), (1, 2), (2, 3)])
+        relation.lookup((0,), (0,))  # build the index
+        seen = []
+        for row in relation.lookup((0,), (1,)):
+            seen.append(row)
+            relation.add((1, row[1] + 10))  # derive into the scanned bucket
+        assert seen == [(1, 2)]
+        assert (1, 12) in relation.tuples
+
+    def test_match_literal_yields_stable_view(self):
+        from repro.datalog.runtime import EvalContext, match_literal
+        from repro.datalog.terms import Atom, Constant, Variable
+
+        relation = Relation("r", [("a", 1), ("a", 2)])
+        relation.lookup((0,), ("a",))
+        atom = Atom("r", (Constant("a"), Variable("X")))
+        seen = []
+        for bindings in match_literal(atom, relation, {}, EvalContext()):
+            seen.append(bindings["X"])
+            relation.add(("a", bindings["X"] + 100))
+        assert sorted(seen) == [1, 2]
+
+
+class TestDiscardIntegrity:
+    def test_discard_raises_on_missing_bucket(self):
+        relation = Relation("p", [("a", 1)])
+        relation.lookup((0,), ("a",))
+        relation._indexes[(0,)].clear()  # simulate corruption
+        with pytest.raises(IndexIntegrityError):
+            relation.discard(("a", 1))
+
+    def test_discard_raises_on_missing_bucket_entry(self):
+        relation = Relation("p", [("a", 1), ("a", 2)])
+        relation.lookup((0,), ("a",))
+        relation._indexes[(0,)][("a",)].remove(("a", 1))  # simulate corruption
+        with pytest.raises(IndexIntegrityError):
+            relation.discard(("a", 1))
+
+    def test_healthy_discard_keeps_index_exact(self):
+        relation = Relation("p", [("a", 1), ("a", 2), ("b", 3)])
+        relation.lookup((0,), ("a",))
+        assert relation.discard(("a", 1))
+        assert relation.lookup((0,), ("a",)) == [("a", 2)]
+        assert relation.discard(("a", 2))
+        assert relation.lookup((0,), ("a",)) == []
+
+
+class TestCopyOnWrite:
+    def test_view_is_o1_until_mutation(self):
+        relation = Relation("p", [("a",), ("b",)])
+        view = relation.view()
+        assert view.tuples is relation.tuples
+
+    def test_mutating_original_leaves_view_intact(self):
+        relation = Relation("p", [("a",)])
+        view = relation.view()
+        relation.add(("b",))
+        assert view.tuples == {("a",)}
+        assert relation.tuples == {("a",), ("b",)}
+
+    def test_mutating_view_leaves_original_intact(self):
+        relation = Relation("p", [("a",)])
+        view = relation.view()
+        view.discard(("a",))
+        assert relation.tuples == {("a",)}
+        assert len(view) == 0
+
+    def test_wrap_never_mutates_the_donor_set(self):
+        donor = {("a",), ("b",)}
+        wrapped = Relation.wrap("d", donor)
+        assert wrapped.lookup((0,), ("a",)) == [("a",)]
+        wrapped.add(("c",))
+        wrapped.discard(("a",))
+        assert donor == {("a",), ("b",)}
+        assert wrapped.tuples == {("b",), ("c",)}
+
+    def test_shared_index_serves_both_handles(self):
+        relation = Relation("p", [("a", 1)])
+        relation.lookup((0,), ("a",))
+        view = relation.view()
+        assert view._indexes is relation._indexes
+        relation.add(("a", 2))  # unshares: view keeps the old index
+        assert view.lookup((0,), ("a",)) == [("a", 1)]
+        assert sorted(relation.lookup((0,), ("a",))) == [("a", 1), ("a", 2)]
+
+
 class TestDatabase:
     def test_rel_creates_on_demand(self):
         database = Database()
@@ -77,3 +177,54 @@ class TestDatabase:
         database.add("p", ("a",))
         database.add("q", ("b",))
         assert database.total_facts() == 2
+
+
+class TestSnapshotRestoreCOW:
+    def test_untouched_relation_identity_and_indexes_survive(self):
+        from repro.datalog.engine import EvalStats
+
+        database = Database()
+        database.add("hot", ("a", 1))
+        database.add("cold", ("x", 9))
+        cold = database.rel("cold")
+        cold.lookup((0,), ("x",))  # build an index on the untouched relation
+        snapshot = database.snapshot()
+        database.add("hot", ("b", 2))
+        database.restore(snapshot)
+        # identity survives the round-trip for the relation nobody touched
+        assert database.rel("cold") is cold
+        # and its index was neither dropped nor rebuilt: the next probe
+        # counts as a hit, not a build
+        stats = EvalStats()
+        with stats.capture_indexes():
+            assert database.rel("cold").lookup((0,), ("x",)) == [("x", 9)]
+        assert (stats.index_builds, stats.index_hits) == (0, 1)
+
+    def test_touched_relation_reverts_and_snapshot_stays_valid(self):
+        database = Database()
+        database.add("p", ("a",))
+        snapshot = database.snapshot()
+        database.add("p", ("b",))
+        database.restore(snapshot)
+        assert database.tuples("p") == {("a",)}
+        database.add("p", ("c",))
+        database.restore(snapshot)  # the same snapshot restores again
+        assert database.tuples("p") == {("a",)}
+        assert snapshot.tuples("p") == {("a",)}
+
+    def test_relation_created_after_snapshot_is_dropped_on_restore(self):
+        database = Database()
+        database.add("p", ("a",))
+        snapshot = database.snapshot()
+        database.add("fresh", ("z",))
+        database.restore(snapshot)
+        assert database.get("fresh") is None
+
+    def test_snapshot_shares_until_either_side_mutates(self):
+        database = Database()
+        database.add("p", ("a",))
+        snapshot = database.snapshot()
+        assert snapshot.rel("p").tuples is database.rel("p").tuples
+        snapshot.add("p", ("b",))  # mutating the snapshot copy is also safe
+        assert database.tuples("p") == {("a",)}
+        assert snapshot.tuples("p") == {("a",), ("b",)}

@@ -1,9 +1,10 @@
 """Property test: Relation hash indexes stay consistent under mutation.
 
 Indexes are built lazily by ``lookup`` and maintained incrementally by
-``add``/``discard``; ``copy``/``snapshot``/``restore`` drop them for lazy
-rebuild.  The invariant under any operation interleaving: ``lookup``
-agrees with a brute-force scan of ``tuples``.
+``add``/``discard``; ``copy``/``snapshot``/``restore`` share them
+copy-on-write.  The invariant under any operation interleaving: ``lookup``
+agrees with a brute-force scan of ``tuples``, and every maintained index
+contains exactly the tuples of the relation, keyed correctly.
 """
 
 from hypothesis import given, settings
@@ -105,3 +106,81 @@ def test_database_snapshot_restore_keeps_indexes_consistent(before, after):
     db.add("e", (0, 0))
     model.add((0, 0))
     check_relation(db.rel("e"), model)
+
+
+def assert_every_index_agrees(relation: Relation) -> None:
+    """Every maintained index holds exactly the relation's tuples."""
+    for positions, index in relation._indexes.items():
+        indexed = []
+        for key, bucket in index.items():
+            assert bucket, f"empty bucket left behind for {key!r}"
+            for row in bucket:
+                assert tuple(row[p] for p in positions) == key
+                assert row in relation.tuples
+            indexed.extend(bucket)
+        assert len(indexed) == len(relation.tuples)
+        assert set(indexed) == relation.tuples
+
+
+MIXED_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), ROWS),
+        st.tuples(st.just("discard"), ROWS),
+        st.tuples(st.just("lookup"), st.tuples(
+            st.sampled_from([(0,), (1,), (0, 1)]), ROWS)),
+        st.tuples(st.just("snapshot"), st.none()),
+        st.tuples(st.just("restore"), st.none()),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+@given(MIXED_OPS)
+@settings(max_examples=80, deadline=None)
+def test_interleaved_snapshot_restore_keeps_every_index_exact(ops):
+    """The ISSUE-2 property: add/discard/snapshot/restore/lookup in any
+    order, with every index checked against ``tuples`` after each step —
+    on the live database *and* on every outstanding snapshot."""
+    db = Database()
+    model: set = set()
+    db.rel("e").lookup((0,), (0,))   # eager index so mutations maintain it
+    db.rel("e").lookup((1,), (0,))
+    snapshots: list = []             # (snapshot_db, model_copy) stack
+
+    for op, arg in ops:
+        if op == "add":
+            assert db.add("e", arg) == (arg not in model)
+            model.add(arg)
+        elif op == "discard":
+            assert db.discard("e", arg) == (arg in model)
+            model.discard(arg)
+        elif op == "lookup":
+            positions, row = arg
+            key = tuple(row[p] for p in positions)
+            assert sorted(db.rel("e").lookup(positions, key)) == \
+                brute_lookup(model, positions, key)
+        elif op == "snapshot":
+            snapshots.append((db.snapshot(), set(model)))
+        elif op == "restore":
+            if snapshots:
+                snapshot, saved = snapshots[-1]
+                db.restore(snapshot)
+                model = set(saved)
+        relation = db.get("e")
+        if relation is not None:
+            assert relation.tuples == model
+            assert_every_index_agrees(relation)
+        for snapshot, saved in snapshots:
+            snap_rel = snapshot.get("e")
+            if snap_rel is not None:
+                assert snap_rel.tuples == saved
+                assert_every_index_agrees(snap_rel)
+
+    # After the stream, every snapshot must still restore faithfully.
+    for snapshot, saved in reversed(snapshots):
+        db.restore(snapshot)
+        relation = db.rel("e")
+        assert relation.tuples == saved
+        assert_every_index_agrees(relation)
+        relation.lookup((0, 1), (0, 0))  # index building still works
+        assert_every_index_agrees(relation)

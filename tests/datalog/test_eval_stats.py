@@ -71,6 +71,74 @@ class TestExactCounts:
         assert stats.literal_scans == 26
 
 
+class TestPlannerCounters:
+    """Exact counts for the cost-based planner instrumentation.
+
+    The chain workload builds three plans — one full-pass plan per rule
+    plus ``step``'s delta plan — and serves the remaining three semi-naive
+    rounds from the band-keyed cache.  All relations are tiny, so the
+    cost model stays out of the way and nothing reorders.
+    """
+
+    def test_chain_plan_counts(self):
+        _, stats = run_chain()
+        assert stats.plans_built == 3
+        assert stats.plan_cache_hits == 3
+        assert stats.reorder_wins == 0
+
+    def test_cost_model_reorders_skewed_join(self):
+        # big is large enough (>= 64) to engage the cost model; greedy
+        # order would scan all of big first, the cost model starts from
+        # small and probes big twice instead.
+        rules = [s for s in parse_statements("sel: h(X) <- big(X), small(X).")
+                 if isinstance(s, Rule)]
+        db = Database()
+        for i in range(80):
+            db.add("big", (i,))
+        db.add("small", (1,))
+        db.add("small", (2,))
+        stats = EvalStats()
+        evaluate(rules, db, EvalContext(stats=stats), stats=stats)
+        assert db.tuples("h") == {(1,), (2,)}
+        assert stats.plans_built == 1
+        assert stats.reorder_wins == 1
+        # one full scan of small, then one indexed probe of big per row
+        assert stats.full_scans == 1
+        assert stats.literal_scans == 3
+        assert stats.rule_firings == {"sel": 2}
+
+    def test_margin_keeps_greedy_order_on_near_ties(self):
+        # 100 vs 30: cheaper, but not 4x cheaper once a column is bound —
+        # the greedy (source-order) plan stands and nothing reorders.
+        rules = [s for s in parse_statements("h(X) <- p(X), q(X).")
+                 if isinstance(s, Rule)]
+        db = Database()
+        for i in range(100):
+            db.add("p", (i,))
+        for i in range(30):
+            db.add("q", (i,))
+        stats = EvalStats()
+        evaluate(rules, db, EvalContext(stats=stats), stats=stats)
+        assert db.tuples("h") == {(i,) for i in range(30)}
+        assert stats.reorder_wins == 0
+
+    def test_counters_survive_merge_diff_and_as_dict(self):
+        _, stats = run_chain()
+        merged = EvalStats()
+        merged.merge(stats)
+        merged.merge(stats)
+        assert merged.plans_built == 6
+        assert merged.plan_cache_hits == 6
+        before = merged.copy()
+        merged.merge(stats)
+        delta = merged.diff(before)
+        assert delta.plans_built == 3
+        rendered = merged.as_dict()
+        assert rendered["plans_built"] == 9
+        assert rendered["plan_cache_hits"] == 9
+        assert rendered["reorder_wins"] == 0
+
+
 class TestStatsPlumbing:
     def test_merge_accumulates_everything(self):
         _, one = run_chain()

@@ -136,6 +136,95 @@ class TestBuildPlan:
             build_plan(body, builtins=standard_registry())
 
 
+class TestCostBasedPlan:
+    def plan_order(self, body, sizes):
+        plan = build_plan(body, builtins=standard_registry(), sizes=sizes)
+        return [item.atom.pred for _, item in plan.steps
+                if isinstance(item, Literal)], plan
+
+    def test_small_relation_scheduled_first_when_much_cheaper(self):
+        body = body_of("h(X) <- big(X), small(X).")
+        order, plan = self.plan_order(body, {"big": 1000, "small": 5})
+        assert order == ["small", "big"]
+        assert plan.reordered
+
+    def test_near_tie_keeps_source_order(self):
+        body = body_of("h(X) <- big(X), small(X).")
+        order, plan = self.plan_order(body, {"big": 12, "small": 5})
+        assert order == ["big", "small"]
+        assert not plan.reordered
+
+    def test_no_sizes_keeps_greedy_order(self):
+        body = body_of("h(X) <- big(X), small(X).")
+        order, plan = self.plan_order(body, None)
+        assert order == ["big", "small"]
+        assert not plan.reordered
+
+    def test_bound_columns_discount_scan_estimates(self):
+        # seed(X) binds X; big(X,Y) then probes on a bound column, which
+        # beats scanning mid unbound even though mid is smaller than big.
+        body = body_of("h(Y) <- seed(X), big(X,Y), mid(Y).")
+        order, _ = self.plan_order(
+            body, {"seed": 2, "big": 10000, "mid": 500})
+        assert order == ["seed", "big", "mid"]
+
+    def test_delta_position_still_forced_first(self):
+        body = body_of("h(X,Z) <- a(X,Y), b(Y,Z).")
+        plan = build_plan(body, first=1, builtins=standard_registry(),
+                          sizes={"a": 100000, "b": 3})
+        assert plan.steps[0][0] == 1
+
+    def test_relation_sizes_helper_gates_on_magnitude(self):
+        from repro.datalog.database import Database
+        from repro.datalog.runtime import relation_sizes
+
+        body = body_of("h(X) <- big(X), small(X).")
+        db = Database()
+        for i in range(100):
+            db.add("big", (i,))
+        db.add("small", (1,))
+        assert relation_sizes(body, db) == {"big": 100, "small": 1}
+        tiny = Database()
+        tiny.add("big", (1,))
+        tiny.add("small", (1,))
+        assert relation_sizes(body, tiny) is None  # all small: greedy
+        assert relation_sizes(body, None) is None
+
+
+class TestPlanReuse:
+    def test_stale_plan_assumptions_trigger_rebuild(self):
+        db = Database()
+        db.add("p", ("a",))
+        db.add("p", ("b",))
+        body = body_of("h(X) <- p(X).")
+        plan = build_plan(body, frozenset({"X"}),
+                          builtins=standard_registry())
+        # Reusing a plan compiled for bound X with unbound bindings must
+        # fall back to a fresh plan, not misread the binding shape.
+        results = list(solve(body, db, EvalContext(), plan=plan))
+        assert {r["X"] for r in results} == {"a", "b"}
+
+    def test_matching_assumptions_reuse_the_plan(self):
+        db = Database()
+        db.add("p", ("a",))
+        body = body_of("h(X) <- p(X).")
+        plan = build_plan(body, frozenset({"X"}),
+                          builtins=standard_registry())
+        results = list(solve(body, db, EvalContext(),
+                             bindings={"X": "a"}, plan=plan))
+        assert results == [{"X": "a"}]
+
+    def test_flat_compilation_covers_pure_literal_bodies(self):
+        body = body_of("h(X,Z) <- a(X,Y), b(Y,Z), !c(X).")
+        plan = build_plan(body, builtins=standard_registry())
+        assert plan.flat() is not None
+
+    def test_flat_compilation_rejects_filters(self):
+        body = body_of("h(X) <- a(X), X > 3.")
+        plan = build_plan(body, builtins=standard_registry())
+        assert plan.flat() is None
+
+
 class TestSafetyAnalysis:
     def check(self, source):
         (rule,) = [s for s in parse_statements(source) if isinstance(s, Rule)]
