@@ -24,10 +24,12 @@ See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
 paper-versus-measured results.
 """
 
+from .cluster import Cluster, ClusterReport, Partitioner
 from .core.principal import Principal
 from .core.system import LBTrustSystem, RunReport
 from .datalog.errors import (
     ActivationLimitError,
+    ClusterError,
     ConstraintViolation,
     CryptoError,
     ParseError,
@@ -41,7 +43,10 @@ from .workspace.workspace import Workspace
 __version__ = "1.0.0"
 
 __all__ = [
+    "Cluster",
+    "ClusterReport",
     "LBTrustSystem",
+    "Partitioner",
     "Principal",
     "RunReport",
     "Workspace",
@@ -49,6 +54,7 @@ __all__ = [
     "ParseError",
     "SafetyError",
     "StratificationError",
+    "ClusterError",
     "ConstraintViolation",
     "ActivationLimitError",
     "CryptoError",

@@ -149,10 +149,15 @@ def main(argv: Optional[list] = None) -> int:
         # lazily so the interactive shell stays import-light.
         from .bench.cli import main as bench_main
         return bench_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        # `repro cluster ...` — the sharded-evaluation demo.
+        from .cluster.demo import main as cluster_main
+        return cluster_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Interactive LBTrust shell (CIDR 2009 reproduction); "
-                    "use `repro bench --help` for the benchmark harness",
+                    "use `repro bench --help` for the benchmark harness, "
+                    "`repro cluster --help` for the sharded-evaluation demo",
     )
     parser.add_argument("--auth", default="hmac",
                         choices=["plaintext", "hmac", "rsa", "mixed"])

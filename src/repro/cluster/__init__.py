@@ -1,0 +1,35 @@
+"""Sharded multi-node evaluation over the simulated network.
+
+The paper *represents* distribution (``predNode`` placement, section
+3.5); this package *executes* it: hash/range-partitioned EDB shards,
+per-node semi-naive evaluation with an engine-level delta-exchange
+hook, batched delta messages, and ticket-counted distributed
+quiescence.  See :mod:`repro.cluster.runtime` for the full protocol.
+"""
+
+from .node import ClusterNode
+from .partition import (
+    MODE_LOCAL,
+    MODE_PARTITIONED,
+    MODE_REPLICATED,
+    Partitioner,
+    PlacementMap,
+    stable_hash,
+)
+from .quiescence import RoundRecord, TicketLedger
+from .runtime import Cluster, ClusterReport, NodeReport
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "ClusterReport",
+    "MODE_LOCAL",
+    "MODE_PARTITIONED",
+    "MODE_REPLICATED",
+    "NodeReport",
+    "Partitioner",
+    "PlacementMap",
+    "RoundRecord",
+    "TicketLedger",
+    "stable_hash",
+]

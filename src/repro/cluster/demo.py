@@ -1,0 +1,110 @@
+"""``repro cluster`` — run a sharded evaluation demo and print the report.
+
+Distributed transitive closure over a seeded random graph: ``edge``
+hash-partitioned by source, ``reach`` by destination (co-locating the
+recursive join), batched delta exchange, ticket-counted quiescence.
+Prints placement, per-node load, traffic and convergence figures — the
+distribution story of paper section 3.5, actually executed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Optional, TextIO
+
+from ..datalog.errors import ReproError
+from ..net.batch import DEFAULT_MAX_BATCH_BYTES
+from ..net.network import SimulatedNetwork
+from .partition import Partitioner
+from .runtime import Cluster
+
+PROGRAM = """
+tc0: reach(X,Y) <- edge(X,Y).
+tc1: reach(X,Z) <- reach(X,Y), edge(Y,Z).
+"""
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro cluster",
+        description="Sharded multi-node evaluation demo (distributed "
+                    "reachability with batched delta exchange)",
+    )
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="cluster size (default 4)")
+    parser.add_argument("--vertices", type=int, default=60,
+                        help="graph vertices (default 60)")
+    parser.add_argument("--degree", type=int, default=2,
+                        help="out-degree per vertex (default 2)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="graph RNG seed (default 7)")
+    parser.add_argument("--latency", type=float, default=1.0,
+                        help="per-link latency on the virtual clock")
+    parser.add_argument("--max-batch-bytes", type=int,
+                        default=DEFAULT_MAX_BATCH_BYTES,
+                        help="size cap per delta batch message")
+    return parser
+
+
+def main(argv: Optional[list] = None, out: Optional[TextIO] = None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+
+    def emit(line: str = "") -> None:
+        print(line, file=out)
+
+    if args.nodes < 1 or args.vertices < 2 or args.degree < 1:
+        emit("error: need --nodes >= 1, --vertices >= 2, --degree >= 1")
+        return 2
+
+    names = [f"node{i}" for i in range(args.nodes)]
+    partitioner = Partitioner(names)
+    partitioner.hash_partition("edge", column=0)
+    partitioner.hash_partition("reach", column=1)
+    network = SimulatedNetwork(default_latency=args.latency)
+    cluster = Cluster(names, network=network, partitioner=partitioner,
+                      max_batch_bytes=args.max_batch_bytes)
+    cluster.load(PROGRAM)
+
+    rng = random.Random(args.seed)
+    edges = 0
+    for v in range(args.vertices):
+        for t in rng.sample(range(args.vertices),
+                            min(args.degree, args.vertices)):
+            if t != v:
+                cluster.assert_fact("edge", (v, t))
+                edges += 1
+
+    emit(f"cluster: {args.nodes} node(s), graph: {args.vertices} vertices / "
+         f"{edges} edges (seed {args.seed})")
+    emit("placement:")
+    for pred, rule in sorted(cluster.partitioner.describe().items()):
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(rule.items()))
+        emit(f"  {pred:8s} {detail}")
+
+    try:
+        report = cluster.run()
+    except ReproError as exc:
+        emit(f"error: {exc}")
+        return 1
+
+    emit()
+    emit(f"{'node':10s} {'edge':>6s} {'reach':>7s} {'derived':>8s} "
+         f"{'sent':>6s} {'recv':>6s}")
+    for node_report in report.per_node:
+        node = cluster.node(node_report.name)
+        emit(f"{node_report.name:10s} {len(node.db.tuples('edge')):6d} "
+             f"{len(node.db.tuples('reach')):7d} "
+             f"{node_report.derivations:8d} {node_report.sent_facts:6d} "
+             f"{node_report.received_facts:6d}")
+
+    emit()
+    emit(f"fixpoint: {len(cluster.tuples('reach'))} reach facts in "
+         f"{report.rounds} rounds")
+    emit(f"traffic: {report.messages} batch message(s) carrying "
+         f"{report.batched_facts} facts, {report.bytes} bytes")
+    emit(f"converged at virtual time {report.convergence_time:.1f} "
+         f"(clock {report.virtual_time:.1f})")
+    return 0

@@ -1,0 +1,178 @@
+"""One shard of a distributed evaluation: local engine + delta outbox.
+
+A :class:`ClusterNode` owns its shard of every partitioned EDB relation
+and runs ordinary semi-naive rounds over the *whole* rule program.  The
+distribution boundary is the engine's per-round delta-exchange hook
+(:attr:`repro.datalog.runtime.EvalContext.remote_emit`): each freshly
+derived fact set is partitioned by owner before assertion —
+
+* facts this node owns (or local-mode predicates) join the local delta
+  frontier exactly as on a single node;
+* facts owned elsewhere are **emitted, not asserted**: they go to the
+  owner's outbox entry and leave no trace in the local database, so the
+  local fixpoint never branches on another shard's state;
+* replicated-predicate facts are both kept and queued to every peer.
+
+Frontier state crosses the node boundary with zero copies: the outbox
+accumulates plain fact sets, incoming batches are handed to
+:func:`~repro.datalog.engine.propagate_insertions` as-is, and the
+stratum loop wraps them via :meth:`Relation.wrap` — the same COW
+handoff single-node semi-naive uses for its deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..datalog.builtins import BuiltinRegistry, standard_registry
+from ..datalog.database import Database
+from ..datalog.engine import (
+    EngineRule,
+    EvalStats,
+    FactSet,
+    eval_stratum,
+    propagate_insertions,
+)
+from ..datalog.runtime import EvalContext
+from ..datalog.stratify import stratify
+from .partition import MODE_LOCAL, MODE_REPLICATED, Partitioner
+
+
+class ClusterNode:
+    """A named shard: local database, rules, stats, and a delta outbox."""
+
+    def __init__(self, name: str, partitioner: Partitioner,
+                 builtins: Optional[BuiltinRegistry] = None) -> None:
+        self.name = name
+        self.partitioner = partitioner
+        self.db = Database()
+        #: asserted + received facts, the node's EDB accessor for
+        #: selective stratum recomputation
+        self.base: FactSet = {}
+        self.rules: list[EngineRule] = []
+        self.strata: list = []
+        self.stats = EvalStats()
+        #: facts awaiting exchange: destination -> pred -> set
+        self.outbox: dict[str, FactSet] = {}
+        #: (dst, pred, fact) already queued — a re-derived remote fact
+        #: must not be resent every round its body delta rematches
+        self._sent: set = set()
+        self.sent_facts = 0
+        self.received_facts = 0
+        self._peers = tuple(n for n in partitioner.nodes if n != name)
+        self.context = EvalContext(
+            builtins=builtins if builtins is not None else standard_registry(),
+            stats=self.stats,
+            remote_emit=self._emit,
+        )
+
+    # ------------------------------------------------------------------
+    # Program / EDB loading
+    # ------------------------------------------------------------------
+
+    def load_rules(self, rules: Iterable[EngineRule]) -> None:
+        self.rules.extend(rules)
+        self.strata = stratify(self.rules)
+
+    def seed(self, pred: str, fact: tuple) -> bool:
+        """Install one EDB fact on this shard (placement already decided)."""
+        if self.db.add(pred, fact):
+            self.base.setdefault(pred, set()).add(fact)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # The delta-exchange hook
+    # ------------------------------------------------------------------
+
+    def _emit(self, pred: str, facts: set) -> set:
+        """Partition freshly derived facts by owner; return the local keep."""
+        mode = self.partitioner.mode(pred)
+        if mode == MODE_LOCAL:
+            return facts
+        if mode == MODE_REPLICATED:
+            for peer in self._peers:
+                self._queue(peer, pred, facts)
+            return facts
+        keep = set()
+        name = self.name
+        for fact in facts:
+            owner = self.partitioner.owner(pred, fact)
+            if owner == name:
+                keep.add(fact)
+            else:
+                self._queue_one(owner, pred, fact)
+        return keep
+
+    def _queue(self, dst: str, pred: str, facts: Iterable[tuple]) -> None:
+        for fact in facts:
+            self._queue_one(dst, pred, fact)
+
+    def _queue_one(self, dst: str, pred: str, fact: tuple) -> None:
+        marker = (dst, pred, fact)
+        if marker in self._sent:
+            return
+        self._sent.add(marker)
+        self.outbox.setdefault(dst, {}).setdefault(pred, set()).add(fact)
+
+    # ------------------------------------------------------------------
+    # Evaluation rounds
+    # ------------------------------------------------------------------
+
+    def run_initial(self) -> int:
+        """Run the full local fixpoint over the seeded shard."""
+        new_facts = 0
+        for stratum in self.strata:
+            added = eval_stratum(stratum, self.db, self.context,
+                                 stats=self.stats)
+            new_facts += sum(len(facts) for facts in added.values())
+        return new_facts
+
+    def integrate(self, incoming: FactSet) -> int:
+        """Absorb one round's received deltas; returns new local facts.
+
+        Novel facts are asserted, recorded as received EDB, and pushed
+        through the strata semi-naive — re-entering ``_emit`` for any
+        further derivations they enable.
+        """
+        fresh: FactSet = {}
+        count = 0
+        for pred, facts in incoming.items():
+            relation = self.db.rel(pred)
+            novel = {fact for fact in facts if relation.add(fact)}
+            if novel:
+                fresh[pred] = novel
+                self.base.setdefault(pred, set()).update(novel)
+                count += len(novel)
+        self.received_facts += count
+        if fresh:
+            added = propagate_insertions(
+                self.strata, self.db, self.context, fresh,
+                edb_facts=self._edb_facts, stats=self.stats)
+            count += sum(len(facts) for facts in added.values())
+        return count
+
+    def drain_outbox(self, sink: Callable[[str, str, tuple], None]) -> int:
+        """Hand every queued fact to ``sink(dst, pred, fact)``; clear."""
+        drained = 0
+        for dst in sorted(self.outbox):
+            per_pred = self.outbox[dst]
+            for pred in sorted(per_pred):
+                for fact in sorted(per_pred[pred], key=repr):
+                    sink(dst, pred, fact)
+                    drained += 1
+        self.outbox = {}
+        self.sent_facts += drained
+        return drained
+
+    # ------------------------------------------------------------------
+
+    def _edb_facts(self, pred: str) -> set:
+        return self.base.get(pred, set())
+
+    def tuples(self, pred: str) -> set:
+        return set(self.db.tuples(pred))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ClusterNode({self.name!r}, {self.db.total_facts()} facts, "
+                f"{len(self.rules)} rules)")

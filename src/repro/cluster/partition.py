@@ -1,0 +1,195 @@
+"""Fact placement: who owns which shard of a partitioned predicate.
+
+The paper's section 3.5 places predicate partitions on nodes through the
+``predNode`` relation (the ld1/ld2 listing pins ``export[P]`` to P's
+node).  This module generalizes that into a :class:`Partitioner` with
+three placement modes per predicate:
+
+* **partitioned** — facts are hash- or range-partitioned on one key
+  column; each fact has exactly one owner node;
+* **replicated** — every node keeps a copy (broadcast on derivation);
+* **local** (the default for undeclared predicates) — facts stay where
+  they are derived and are never exchanged.
+
+Explicit ``predNode``-style pins (:meth:`Partitioner.place`) override the
+hash/range rule for individual key values, which is exactly how the
+paper's ``predNode(export[P],N) <- loc(P,N)`` placement behaves: the
+``loc`` table, not a hash function, decides where P's exports live.
+
+Hashing is **deterministic across processes** (CRC32 over a canonical
+rendering) so a cluster's shard assignment is stable run-to-run —
+Python's own ``hash()`` is salted per process and must not leak into
+placement.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_left
+from typing import Iterable, Optional
+
+from ..datalog.errors import ClusterError
+
+MODE_LOCAL = "local"
+MODE_PARTITIONED = "partitioned"
+MODE_REPLICATED = "replicated"
+
+
+def stable_hash(value) -> int:
+    """A process-independent 32-bit hash of a ground value."""
+    if isinstance(value, bytes):
+        blob = b"b:" + value
+    elif isinstance(value, str):
+        blob = b"s:" + value.encode("utf-8")
+    else:
+        blob = repr(value).encode("utf-8")
+    return zlib.crc32(blob)
+
+
+class PlacementMap:
+    """Explicit ``predNode``-style pins: ``(pred, key) -> node``."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, tuple], str] = {}
+
+    def place(self, pred: str, key: tuple, node: str) -> None:
+        self._entries[(pred, tuple(key))] = node
+
+    def owner(self, pred: str, key: tuple) -> Optional[str]:
+        return self._entries.get((pred, tuple(key)))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @classmethod
+    def from_prednode_facts(cls, rows: Iterable[tuple]) -> "PlacementMap":
+        """Build from ``predNode`` tuples ``(PredPartition, node)``.
+
+        Rows of any other shape are ignored (the relation is open to
+        user rules deriving other placements).
+        """
+        from ..datalog.terms import PredPartition
+
+        placement = cls()
+        for row in rows:
+            if len(row) == 2 and isinstance(row[0], PredPartition) \
+                    and isinstance(row[1], str):
+                placement.place(row[0].pred, row[0].keys, row[1])
+        return placement
+
+
+class _Rule:
+    """One predicate's placement rule."""
+
+    __slots__ = ("mode", "column", "boundaries")
+
+    def __init__(self, mode: str, column: int = 0,
+                 boundaries: Optional[tuple] = None) -> None:
+        self.mode = mode
+        self.column = column
+        self.boundaries = boundaries
+
+
+class Partitioner:
+    """Maps ``(pred, fact)`` to an owner node over a fixed node list."""
+
+    def __init__(self, nodes: Iterable[str]) -> None:
+        self.nodes: tuple[str, ...] = tuple(nodes)
+        if not self.nodes:
+            raise ClusterError("a partitioner needs at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ClusterError("duplicate node names in partitioner")
+        self._rules: dict[str, _Rule] = {}
+        self.pins = PlacementMap()
+
+    # -- declaring placements ------------------------------------------------
+
+    def hash_partition(self, pred: str, column: int = 0) -> None:
+        """Shard ``pred`` by a deterministic hash of one column."""
+        self._declare(pred, _Rule(MODE_PARTITIONED, column))
+
+    def range_partition(self, pred: str, column: int,
+                        boundaries: Iterable) -> None:
+        """Shard ``pred`` by column ranges.
+
+        ``boundaries`` are ``len(nodes) - 1`` sorted split points; a fact
+        goes to node ``i`` where ``i`` counts boundaries strictly below
+        its column value.
+        """
+        splits = tuple(boundaries)
+        if len(splits) != len(self.nodes) - 1:
+            raise ClusterError(
+                f"range partition of {pred!r} needs {len(self.nodes) - 1} "
+                f"boundaries for {len(self.nodes)} nodes, got {len(splits)}"
+            )
+        if list(splits) != sorted(splits):
+            raise ClusterError(f"range boundaries for {pred!r} not sorted")
+        self._declare(pred, _Rule(MODE_PARTITIONED, column, splits))
+
+    def replicate(self, pred: str) -> None:
+        """Broadcast ``pred``'s facts to every node."""
+        self._declare(pred, _Rule(MODE_REPLICATED))
+
+    def place(self, pred: str, key: tuple, node: str) -> None:
+        """Pin one partition explicitly (``predNode``-style override)."""
+        if node not in self.nodes:
+            raise ClusterError(f"unknown node {node!r}")
+        if pred not in self._rules:
+            self._rules[pred] = _Rule(MODE_PARTITIONED, 0)
+        self.pins.place(pred, key, node)
+
+    def _declare(self, pred: str, rule: _Rule) -> None:
+        existing = self._rules.get(pred)
+        if existing is not None and (existing.mode != rule.mode
+                                     or existing.column != rule.column
+                                     or existing.boundaries != rule.boundaries):
+            raise ClusterError(f"conflicting placement for {pred!r}")
+        self._rules[pred] = rule
+
+    # -- lookups -------------------------------------------------------------
+
+    def mode(self, pred: str) -> str:
+        rule = self._rules.get(pred)
+        return rule.mode if rule is not None else MODE_LOCAL
+
+    def is_exchanged(self, pred: str) -> bool:
+        return self.mode(pred) != MODE_LOCAL
+
+    def owner(self, pred: str, fact: tuple) -> Optional[str]:
+        """The owner node of a fact, or None for local/replicated preds."""
+        rule = self._rules.get(pred)
+        if rule is None or rule.mode != MODE_PARTITIONED:
+            return None
+        if len(self.nodes) == 1:
+            return self.nodes[0]
+        column = rule.column
+        if column >= len(fact):
+            raise ClusterError(
+                f"fact {fact!r} of {pred!r} has no column {column} "
+                f"to partition on"
+            )
+        pinned = self.pins.owner(pred, (fact[column],))
+        if pinned is not None:
+            return pinned
+        value = fact[column]
+        if rule.boundaries is not None:
+            return self.nodes[bisect_left(rule.boundaries, value)]
+        return self.nodes[stable_hash(value) % len(self.nodes)]
+
+    def exchanged_preds(self) -> list[str]:
+        return sorted(p for p in self._rules
+                      if self._rules[p].mode != MODE_LOCAL)
+
+    def describe(self) -> dict:
+        """JSON-safe summary (used by the CLI demo and benchmarks)."""
+        out = {}
+        for pred, rule in sorted(self._rules.items()):
+            if rule.mode == MODE_REPLICATED:
+                out[pred] = {"mode": rule.mode}
+            else:
+                out[pred] = {
+                    "mode": rule.mode,
+                    "column": rule.column,
+                    "strategy": "range" if rule.boundaries else "hash",
+                }
+        return out

@@ -1,0 +1,97 @@
+"""Distributed quiescence: round-stamped ticket counting.
+
+A sharded fixpoint has converged exactly when (a) no node can derive
+anything new from what it already holds and (b) no delta batch is still
+in flight that could change (a).  The textbook hazard is declaring
+convergence while a message is sitting in a link queue; the classic fix
+(Mattern-style credit/ticket counting) is to pair every message with a
+ticket — issued at send, retired at receive — and only declare
+quiescence when every ticket ever issued has been retired.
+
+The :class:`TicketLedger` stamps tickets with the sender's evaluation
+round and records the virtual clock at which each round closed, so a
+converged run can report *when* (in simulated time) the system went
+quiet, not just that it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RoundRecord:
+    """Activity observed while one evaluation round was closing."""
+
+    number: int
+    issued: int = 0
+    retired: int = 0
+    new_facts: int = 0
+    clock: float = 0.0
+
+
+@dataclass
+class TicketLedger:
+    """Issue/retire message tickets; decide distributed quiescence."""
+
+    issued: int = 0
+    retired: int = 0
+    _per_round_issued: dict = field(default_factory=dict)
+    _per_round_retired: dict = field(default_factory=dict)
+    rounds: list = field(default_factory=list)
+
+    def issue(self, round_stamp: int, count: int = 1) -> None:
+        """Register ``count`` messages sent during ``round_stamp``."""
+        self.issued += count
+        self._per_round_issued[round_stamp] = \
+            self._per_round_issued.get(round_stamp, 0) + count
+
+    def retire(self, round_stamp: int, count: int = 1) -> None:
+        """Register ``count`` messages received (stamped at their send round)."""
+        self.retired += count
+        self._per_round_retired[round_stamp] = \
+            self._per_round_retired.get(round_stamp, 0) + count
+        if self.retired > self.issued:
+            # A retired ticket that was never issued means the transport
+            # duplicated or fabricated a message — surface loudly.
+            raise AssertionError(
+                f"ticket ledger retired {self.retired} > issued {self.issued}"
+            )
+
+    def outstanding(self) -> int:
+        """Tickets issued but not yet retired (messages in flight)."""
+        return self.issued - self.retired
+
+    def close_round(self, number: int, new_facts: int, clock: float) -> RoundRecord:
+        """Record one completed round's activity and the virtual clock."""
+        record = RoundRecord(
+            number=number,
+            issued=self._per_round_issued.get(number, 0),
+            retired=sum(self._per_round_retired.values())
+            - sum(r.retired for r in self.rounds),
+            new_facts=new_facts,
+            clock=clock,
+        )
+        self.rounds.append(record)
+        return record
+
+    def quiescent(self) -> bool:
+        """True when the system has provably converged.
+
+        All tickets retired (nothing in flight) *and* the last closed
+        round neither derived new facts nor issued messages — so no node
+        holds work that could restart the exchange.
+        """
+        if self.outstanding():
+            return False
+        if not self.rounds:
+            return False
+        last = self.rounds[-1]
+        return last.new_facts == 0 and last.issued == 0
+
+    def convergence_clock(self) -> float:
+        """Virtual time at which the last productive round closed."""
+        for record in reversed(self.rounds):
+            if record.new_facts or record.issued or record.retired:
+                return record.clock
+        return self.rounds[0].clock if self.rounds else 0.0

@@ -1,0 +1,348 @@
+"""The sharded evaluation runtime: BSP rounds over the simulated network.
+
+A :class:`Cluster` is N :class:`~repro.cluster.node.ClusterNode` shards
+on a :class:`~repro.net.network.SimulatedNetwork`, evaluating one rule
+program to a *distributed* fixpoint:
+
+1. every node runs its local semi-naive fixpoint over its EDB shard;
+   derived facts owned elsewhere are diverted to outboxes by the
+   engine's delta-exchange hook;
+2. outboxes flush through a :class:`~repro.net.batch.MessageBatcher` —
+   one size-capped batch message per node pair per round, each issuing
+   a round-stamped ticket in the quiescence ledger;
+3. delivered batches retire their tickets and integrate at the owner,
+   seeding its next semi-naive pass;
+4. rounds repeat until the :class:`~repro.cluster.quiescence.TicketLedger`
+   proves quiescence: no tickets outstanding and a closed round with no
+   new facts and no sends.
+
+The union of all shards equals the single-node fixpoint whenever the
+placement is *join-compatible* — every rule's joins line up on its body
+predicates' partition columns (the programmer's responsibility, exactly
+as ``predNode`` placement is in the paper).  Negation/aggregation over
+exchanged predicates is rejected: a shard cannot prove a fact absent
+while a delta for it may still be in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from ..datalog.builtins import BuiltinRegistry
+from ..datalog.engine import EngineRule, EvalStats, normalize_rules
+from ..datalog.errors import ClusterError, NetworkError
+from ..datalog.parser import parse_statements
+from ..datalog.runtime import check_rule_safety
+from ..datalog.stratify import stratify
+from ..datalog.terms import Rule
+from ..meta.quote import compile_rule
+from ..meta.registry import RuleRegistry
+from ..net.batch import DEFAULT_MAX_BATCH_BYTES, MessageBatcher
+from ..net.network import SimulatedNetwork
+from ..net.transport import decode_batch_message
+from .node import ClusterNode
+from .partition import Partitioner
+from .quiescence import TicketLedger
+
+
+@dataclass
+class NodeReport:
+    """One shard's share of the distributed run."""
+
+    name: str
+    derivations: int
+    new_facts: int
+    sent_facts: int
+    received_facts: int
+    db_facts: int
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "derivations": self.derivations,
+            "new_facts": self.new_facts,
+            "sent_facts": self.sent_facts,
+            "received_facts": self.received_facts,
+            "db_facts": self.db_facts,
+        }
+
+
+@dataclass
+class ClusterReport:
+    """Outcome of one :meth:`Cluster.run` call."""
+
+    nodes: int = 0
+    rounds: int = 0
+    messages: int = 0
+    batched_facts: int = 0
+    bytes: int = 0
+    virtual_time: float = 0.0
+    convergence_time: float = 0.0
+    new_facts: int = 0
+    per_node: list = field(default_factory=list)
+
+    def max_node_derivations(self) -> int:
+        return max((n.derivations for n in self.per_node), default=0)
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "batched_facts": self.batched_facts,
+            "bytes": self.bytes,
+            "virtual_time": self.virtual_time,
+            "convergence_time": self.convergence_time,
+            "new_facts": self.new_facts,
+            "per_node": [n.as_dict() for n in self.per_node],
+        }
+
+    def __repr__(self) -> str:
+        return (f"ClusterReport(nodes={self.nodes}, rounds={self.rounds}, "
+                f"messages={self.messages}, bytes={self.bytes}, "
+                f"virtual_time={self.virtual_time:.2f})")
+
+
+class Cluster:
+    """N shards + partitioner + network + the distributed fixpoint loop."""
+
+    def __init__(self, nodes: Union[int, Iterable[str]],
+                 network: Optional[SimulatedNetwork] = None,
+                 partitioner: Optional[Partitioner] = None,
+                 builtins: Optional[BuiltinRegistry] = None,
+                 registry: Optional[RuleRegistry] = None,
+                 max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES) -> None:
+        if isinstance(nodes, int):
+            if nodes < 1:
+                raise ClusterError("a cluster needs at least one node")
+            names = tuple(f"node{i}" for i in range(nodes))
+        else:
+            names = tuple(nodes)
+        self.partitioner = partitioner if partitioner is not None \
+            else Partitioner(names)
+        if tuple(self.partitioner.nodes) != names:
+            raise ClusterError("partitioner nodes do not match cluster nodes")
+        self.network = network if network is not None else SimulatedNetwork()
+        for name in names:
+            self.network.add_node(name)
+        self.registry = registry if registry is not None else RuleRegistry()
+        self.nodes: dict[str, ClusterNode] = {
+            name: ClusterNode(name, self.partitioner, builtins=builtins)
+            for name in names
+        }
+        self.ledger = TicketLedger()
+        self.batcher = MessageBatcher(self.network, self.registry,
+                                      max_bytes=max_batch_bytes,
+                                      ledger=self.ledger)
+        self._rules: list[EngineRule] = []
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load(self, source: Union[str, Iterable[Rule]]) -> None:
+        """Install a program on every node (facts route by placement)."""
+        if isinstance(source, str):
+            statements = parse_statements(source)
+        else:
+            statements = list(source)
+        rules: list[Rule] = []
+        for statement in statements:
+            if not isinstance(statement, Rule):
+                raise ClusterError(
+                    "cluster programs take rules and facts only "
+                    f"(got {type(statement).__name__})"
+                )
+            if statement.is_fact():
+                for head in statement.heads:
+                    values = tuple(
+                        term.value for term in head.all_args
+                        if hasattr(term, "value")
+                    )
+                    if len(values) != len(head.all_args):
+                        raise ClusterError(
+                            f"non-ground fact {head!r} in cluster program")
+                    self.assert_fact(head.pred, values)
+            else:
+                rules.append(statement)
+        if not rules:
+            return
+        sample_builtins = next(iter(self.nodes.values())).context.builtins
+        engine_rules: list[EngineRule] = []
+        for index, rule in enumerate(rules):
+            compiled = compile_rule(rule, principal=None,
+                                    builtins=sample_builtins)
+            check_rule_safety(compiled, sample_builtins)
+            for engine_rule in normalize_rules([compiled]):
+                if engine_rule.label is None:
+                    engine_rule.label = f"r{len(self._rules) + len(engine_rules)}"
+                engine_rules.append(engine_rule)
+        self._check_distributable(engine_rules)
+        self._rules.extend(engine_rules)
+        for node in self.nodes.values():
+            # Each node gets its own EngineRule instances: plan caches are
+            # per-shard (shard cardinalities differ, so should plans).
+            node.load_rules([
+                EngineRule(r.head, r.body, r.agg, r.label, r.source)
+                for r in engine_rules
+            ])
+
+    def _check_distributable(self, new_rules: list[EngineRule]) -> None:
+        """Reject nonmonotonicity over exchanged predicates (N > 1).
+
+        A shard evaluating ``!p(...)`` or an aggregate over an exchanged
+        predicate could commit to absence while a delta batch for ``p``
+        is still in flight; there is no sound local evaluation order, so
+        the combination is refused up front.
+        """
+        if len(self.nodes) <= 1:
+            return
+        exchanged = set(self.partitioner.exchanged_preds())
+        if not exchanged:
+            return
+        strata = stratify(self._rules + new_rules)
+        for stratum in strata:
+            if not stratum.nonmonotone:
+                continue
+            touched = (stratum.reads | stratum.preds) & exchanged
+            if touched:
+                raise ClusterError(
+                    "negation/aggregation over exchanged predicate(s) "
+                    f"{sorted(touched)} cannot be evaluated on a "
+                    f"{len(self.nodes)}-node cluster"
+                )
+
+    # ------------------------------------------------------------------
+    # EDB routing
+    # ------------------------------------------------------------------
+
+    def assert_fact(self, pred: str, fact: tuple,
+                    at: Optional[str] = None) -> None:
+        """Route one EDB fact to its shard(s) per the placement rules.
+
+        ``at`` names the asserting node for local-mode predicates
+        (default: the first node).
+        """
+        fact = tuple(fact)
+        owner = self.partitioner.owner(pred, fact)
+        if owner is not None:
+            self.nodes[owner].seed(pred, fact)
+        elif self.partitioner.mode(pred) == "replicated":
+            for node in self.nodes.values():
+                node.seed(pred, fact)
+        else:
+            name = at if at is not None else self.partitioner.nodes[0]
+            node = self.nodes.get(name)
+            if node is None:
+                raise ClusterError(f"unknown node {name!r}")
+            node.seed(pred, fact)
+
+    def assert_facts(self, pred: str, facts: Iterable[tuple],
+                     at: Optional[str] = None) -> None:
+        for fact in facts:
+            self.assert_fact(pred, fact, at=at)
+
+    # ------------------------------------------------------------------
+    # The distributed fixpoint
+    # ------------------------------------------------------------------
+
+    def run(self, max_rounds: int = 500) -> ClusterReport:
+        """Exchange batched deltas until the ticket ledger proves
+        quiescence; returns the run's :class:`ClusterReport`."""
+        stats_before = {name: node.stats.copy()
+                        for name, node in self.nodes.items()}
+        messages_before = self.network.total.messages
+        bytes_before = self.network.total.bytes
+        items_before = self.batcher.sent_items
+        rounds_before = len(self.ledger.rounds)
+        round_number = rounds_before
+
+        new_facts = 0
+        for name in sorted(self.nodes):
+            new_facts += self.nodes[name].run_initial()
+        self._flush_round(round_number)
+        self.ledger.close_round(round_number, new_facts, self.network.clock)
+
+        rounds_run = 0
+        while not self.ledger.quiescent():
+            rounds_run += 1
+            if rounds_run > max_rounds:
+                raise ClusterError(
+                    f"cluster did not quiesce within {max_rounds} rounds")
+            round_number += 1
+            incoming = self._receive_round()
+            new_facts = 0
+            for name in sorted(incoming):
+                new_facts += self.nodes[name].integrate(incoming[name])
+            self._flush_round(round_number)
+            self.ledger.close_round(round_number, new_facts,
+                                    self.network.clock)
+
+        report = ClusterReport(nodes=len(self.nodes))
+        report.rounds = len(self.ledger.rounds) - rounds_before
+        report.messages = self.network.total.messages - messages_before
+        report.bytes = self.network.total.bytes - bytes_before
+        report.batched_facts = self.batcher.sent_items - items_before
+        report.virtual_time = self.network.clock
+        report.convergence_time = self.ledger.convergence_clock()
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            delta = node.stats.diff(stats_before[name])
+            report.new_facts += delta.new_facts
+            report.per_node.append(NodeReport(
+                name=name,
+                derivations=delta.derivations,
+                new_facts=delta.new_facts,
+                sent_facts=node.sent_facts,
+                received_facts=node.received_facts,
+                db_facts=node.db.total_facts(),
+            ))
+        return report
+
+    def _flush_round(self, round_number: int) -> int:
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            node.drain_outbox(
+                lambda dst, pred, fact, _src=name: self.batcher.add(
+                    _src, dst, pred, fact, round_stamp=round_number))
+        return self.batcher.flush(round_number)
+
+    def _receive_round(self) -> dict[str, dict[str, set]]:
+        incoming: dict[str, dict[str, set]] = {}
+        for _src, dst, blob in self.network.deliver_all():
+            try:
+                round_stamp, items = decode_batch_message(blob, self.registry)
+            except NetworkError as exc:
+                raise ClusterError(f"undecodable delta batch: {exc}") from exc
+            self.ledger.retire(round_stamp)
+            per_node = incoming.setdefault(dst, {})
+            for _to, pred, fact in items:
+                per_node.setdefault(pred, set()).add(fact)
+        return incoming
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def node(self, name: str) -> ClusterNode:
+        node = self.nodes.get(name)
+        if node is None:
+            raise ClusterError(f"unknown node {name!r}")
+        return node
+
+    def tuples(self, pred: str) -> set:
+        """The distributed relation: union of every shard's tuples."""
+        out: set = set()
+        for node in self.nodes.values():
+            out |= node.db.tuples(pred)
+        return out
+
+    def total_stats(self) -> EvalStats:
+        merged = EvalStats()
+        for node in self.nodes.values():
+            merged.merge(node.stats)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster({sorted(self.nodes)})"

@@ -31,14 +31,17 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from ..cluster.partition import PlacementMap
+from ..cluster.quiescence import TicketLedger
 from ..crypto.datalog_builtins import register_crypto_builtins
 from ..datalog.builtins import BuiltinRegistry, standard_registry
 from ..datalog.errors import ConstraintViolation, NetworkError, WorkspaceError
 from ..datalog.parser import parse_statements
-from ..datalog.terms import Constraint, PredPartition, Rule
+from ..datalog.terms import Constraint, Rule
 from ..meta.registry import RuleRegistry
+from ..net.batch import DEFAULT_MAX_BATCH_BYTES, MessageBatcher
 from ..net.network import SimulatedNetwork
-from ..net.transport import decode_fact_message, encode_fact_message
+from ..net.transport import decode_batch_message
 from .authorization import install_says_authorization
 from .delegation import install_delegation, install_depth_restriction
 from .principal import Principal
@@ -54,18 +57,25 @@ ld2: predNode(export[P],N) <- loc(P,N).
 
 @dataclass
 class RunReport:
-    """Outcome of one :meth:`LBTrustSystem.run` call."""
+    """Outcome of one :meth:`LBTrustSystem.run` call.
+
+    ``delivered``/``rejected`` count *facts*; ``batches`` counts wire
+    messages — since PR 3 each node pair exchanges one size-capped batch
+    per round, so the network's message statistics measure batches.
+    """
 
     rounds: int = 0
     delivered: int = 0
     rejected: int = 0
+    batches: int = 0
     bytes: int = 0
     virtual_time: float = 0.0
     rejected_detail: list = field(default_factory=list)
 
     def __repr__(self) -> str:
         return (f"RunReport(rounds={self.rounds}, delivered={self.delivered}, "
-                f"rejected={self.rejected}, bytes={self.bytes}, "
+                f"rejected={self.rejected}, batches={self.batches}, "
+                f"bytes={self.bytes}, "
                 f"virtual_time={self.virtual_time:.2f})")
 
 
@@ -77,9 +87,11 @@ class LBTrustSystem:
                  network: Optional[SimulatedNetwork] = None,
                  enable_provenance: bool = False,
                  authorization: bool = False,
-                 delegation: bool = False) -> None:
+                 delegation: bool = False,
+                 max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES) -> None:
         self.registry = RuleRegistry()
         self.network = network if network is not None else SimulatedNetwork()
+        self.max_batch_bytes = max_batch_bytes
         self.principals: dict[str, Principal] = {}
         self.rsa_bits = rsa_bits
         self.rsa_keys: dict = {}
@@ -196,29 +208,46 @@ class LBTrustSystem:
     # ------------------------------------------------------------------
 
     def run(self, max_rounds: int = 100) -> RunReport:
-        """Exchange messages until the whole system quiesces."""
+        """Exchange batched messages until the whole system quiesces.
+
+        Since PR 3 this loop runs on the cluster machinery: placement is
+        a :class:`~repro.cluster.partition.PlacementMap` built from each
+        workspace's ``predNode`` table, per-round traffic coalesces into
+        one size-capped batch per node pair
+        (:class:`~repro.net.batch.MessageBatcher`), and a round-stamped
+        :class:`~repro.cluster.quiescence.TicketLedger` confirms that
+        quiescence was declared with no batch still in flight.
+        """
         report = RunReport()
         bytes_before = self.network.total.bytes
-        for _ in range(max_rounds):
-            sent_any = self._collect_and_send(report)
+        ledger = TicketLedger()
+        for round_number in range(max_rounds):
+            batcher = MessageBatcher(self.network, self.registry,
+                                     max_bytes=self.max_batch_bytes,
+                                     ledger=ledger)
+            sent_any = self._collect_and_send(batcher, round_number)
+            batcher.flush(round_number)
+            # sent_messages includes early size-capped flushes inside
+            # add(), which flush()'s return value does not cover.
+            report.batches += batcher.sent_messages
             deliveries = self.network.deliver_all()
             if not deliveries and not sent_any:
                 break
             report.rounds += 1
-            self._import_deliveries(deliveries, report)
+            delivered = self._import_deliveries(deliveries, report, ledger)
+            ledger.close_round(round_number, delivered, self.network.clock)
         report.bytes = self.network.total.bytes - bytes_before
         report.virtual_time = self.network.clock
         return report
 
-    def _collect_and_send(self, report: RunReport) -> bool:
+    def _collect_and_send(self, batcher: MessageBatcher,
+                          round_number: int) -> bool:
         sent_any = False
         for principal in self.principals.values():
             workspace = principal.workspace
-            placement: dict[PredPartition, str] = {}
-            for row in workspace.tuples("predNode"):
-                if len(row) == 2 and isinstance(row[0], PredPartition):
-                    placement[row[0]] = row[1]
-            if not placement:
+            placement = PlacementMap.from_prednode_facts(
+                workspace.tuples("predNode"))
+            if not len(placement):
                 continue
             for pred in list(workspace.db.relations):
                 info = workspace.catalog.get(pred)
@@ -226,7 +255,7 @@ class LBTrustSystem:
                     continue
                 for fact in workspace.db.tuples(pred):
                     key = fact[:info.key_arity]
-                    node = placement.get(PredPartition(pred, key))
+                    node = placement.owner(pred, key)
                     if node is None:
                         continue
                     target = key[0]
@@ -238,22 +267,33 @@ class LBTrustSystem:
                     if marker in self._sent:
                         continue
                     self._sent.add(marker)
-                    blob = encode_fact_message(pred, fact, self.registry,
-                                               to=target)
-                    self.network.send(principal.node, node, blob)
+                    batcher.add(principal.node, node, pred, fact,
+                                to=target, round_stamp=round_number)
                     sent_any = True
         return sent_any
 
-    def _import_deliveries(self, deliveries: list, report: RunReport) -> None:
+    def _import_deliveries(self, deliveries: list, report: RunReport,
+                           ledger: TicketLedger) -> int:
+        """Decode batches, retire their tickets, import per principal.
+
+        Returns the number of facts handed to import transactions.
+        """
         grouped: dict[str, list] = {}
+        count = 0
         for _src, _dst, blob in deliveries:
             try:
-                to, pred, fact = decode_fact_message(blob, self.registry)
+                round_stamp, items = decode_batch_message(blob, self.registry)
             except NetworkError as exc:
                 report.rejected += 1
                 report.rejected_detail.append(("<decode>", str(exc)))
+                # an undecodable blob may still be a ticketed batch whose
+                # payload was corrupted in transit — account for it
+                self._retire_guarded(ledger, 0)
                 continue
-            grouped.setdefault(to, []).append((pred, fact))
+            self._retire_guarded(ledger, round_stamp)
+            for to, pred, fact in items:
+                grouped.setdefault(to, []).append((pred, fact))
+                count += 1
         for to, items in grouped.items():
             principal = self.principals.get(to)
             if principal is None:
@@ -261,6 +301,21 @@ class LBTrustSystem:
                 report.rejected_detail.append((to, "unknown principal"))
                 continue
             self._import_batch(principal, items, report)
+        return count
+
+    @staticmethod
+    def _retire_guarded(ledger: TicketLedger, round_stamp: int) -> None:
+        """Retire one ticket, tolerating unticketed traffic.
+
+        Unlike the cluster runtime — which owns its transport exclusively
+        and keeps the strict issue/retire invariant — the system's network
+        is open: tests (and adversaries) inject raw messages that no
+        batcher ever ticketed.  Retiring at most what was issued keeps
+        the ledger consistent without turning foreign traffic into a
+        crash.
+        """
+        if ledger.outstanding() > 0:
+            ledger.retire(round_stamp)
 
     def _import_batch(self, principal: Principal, items: list,
                       report: RunReport) -> None:

@@ -111,7 +111,12 @@ def _cached_plan(plan_cache: dict, key: tuple, alternative: tuple,
         if sizes is None:
             bands = None
         else:
-            bands = tuple(cardinality_band(size) for size in sizes.values())
+            # values are live Relations (or 0 placeholders) since the
+            # distinct-count statistics landed; band on their cardinality
+            bands = tuple(
+                cardinality_band(source if source.__class__ is int
+                                 else len(source.tuples))
+                for source in sizes.values())
         memoized = size_memo[memo_key] = (sizes, bands)
     sizes, bands = memoized
     key = key + (bands,)

@@ -53,13 +53,16 @@ class Relation:
     first, so holders of other handles never observe the mutation.
     """
 
-    __slots__ = ("name", "tuples", "_indexes", "_shared")
+    __slots__ = ("name", "tuples", "_indexes", "_shared", "_version",
+                 "_col_stats")
 
     def __init__(self, name: str, tuples: Optional[Iterable[tuple]] = None) -> None:
         self.name = name
         self.tuples: set[tuple] = set(tuples) if tuples else set()
         self._indexes: dict[tuple, dict[tuple, list[tuple]]] = {}
         self._shared = False
+        self._version = 0
+        self._col_stats: dict[int, tuple[int, int]] = {}
 
     @classmethod
     def wrap(cls, name: str, tuples: set) -> "Relation":
@@ -75,6 +78,8 @@ class Relation:
         relation.tuples = tuples
         relation._indexes = {}
         relation._shared = True
+        relation._version = 0
+        relation._col_stats = {}
         return relation
 
     def view(self) -> "Relation":
@@ -89,6 +94,8 @@ class Relation:
         other.tuples = self.tuples
         other._indexes = self._indexes
         other._shared = True
+        other._version = 0
+        other._col_stats = {}
         self._shared = True
         return other
 
@@ -120,6 +127,7 @@ class Relation:
             return False
         if self._shared:
             self._unshare()
+        self._version += 1
         self.tuples.add(item)
         for positions, index in self._indexes.items():
             key = tuple([item[p] for p in positions])
@@ -142,6 +150,7 @@ class Relation:
             return False
         if self._shared:
             self._unshare()
+        self._version += 1
         self.tuples.discard(item)
         for positions, index in self._indexes.items():
             key = tuple([item[p] for p in positions])
@@ -196,6 +205,30 @@ class Relation:
         elif _index_stats is not None:
             _index_stats.index_hits += 1
         return index.get(key, ())
+
+    def distinct_count(self, position: int) -> int:
+        """Number of distinct values in one column (cached per version).
+
+        Feeds the join cost model's per-column selectivity (``1/distinct``
+        rather than an assumed constant).  An existing single-column hash
+        index answers in O(1); otherwise one scan computes the count, and
+        the result stays cached until the relation next mutates.
+        """
+        cached = self._col_stats.get(position)
+        version = self._version
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        index = self._indexes.get((position,))
+        if index is not None:
+            count = len(index)
+        else:
+            count = len({
+                row[position] for row in self.tuples if len(row) > position
+            })
+            if _index_stats is not None:
+                _index_stats.column_stats_built += 1
+        self._col_stats[position] = (version, count)
+        return count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Relation({self.name}, {len(self.tuples)} tuples)"

@@ -125,7 +125,10 @@ class EngineRule:
             for pred in preds:
                 relation = relations.get(pred)
                 size = len(relation.tuples) if relation is not None else 0
-                sizes[pred] = size
+                # The live relation itself goes to the cost model (it can
+                # answer per-column distinct counts); the cache key stays
+                # a coarse size band.
+                sizes[pred] = relation if relation is not None else 0
                 signature.append(cardinality_band(size))
             if max(signature) <= 1:
                 # Everything is small: any order is fine, so share one
@@ -252,7 +255,12 @@ class EvalStats:
       served from a rule's band-keyed plan cache;
     * ``reorder_wins`` — built plans where the cardinality cost model
       chose a different positive-literal order than the boundness-greedy
-      baseline would have.
+      baseline would have;
+    * ``column_stats_built`` — per-column distinct-count computations that
+      had to scan (:meth:`Relation.distinct_count` cache misses without a
+      usable single-column index);
+    * ``remote_emissions`` — derived facts diverted to a remote owner by a
+      cluster delta-exchange hook instead of being asserted locally.
     """
 
     MAX_STRATA: ClassVar[int] = 256
@@ -267,6 +275,8 @@ class EvalStats:
     plans_built: int = 0
     plan_cache_hits: int = 0
     reorder_wins: int = 0
+    column_stats_built: int = 0
+    remote_emissions: int = 0
     rule_firings: dict = field(default_factory=dict)
     strata: list = field(default_factory=list)
 
@@ -296,6 +306,8 @@ class EvalStats:
             full_scans=self.full_scans, plans_built=self.plans_built,
             plan_cache_hits=self.plan_cache_hits,
             reorder_wins=self.reorder_wins,
+            column_stats_built=self.column_stats_built,
+            remote_emissions=self.remote_emissions,
             rule_firings=dict(self.rule_firings),
             strata=list(self.strata))
         return snapshot
@@ -318,7 +330,10 @@ class EvalStats:
             full_scans=self.full_scans - before.full_scans,
             plans_built=self.plans_built - before.plans_built,
             plan_cache_hits=self.plan_cache_hits - before.plan_cache_hits,
-            reorder_wins=self.reorder_wins - before.reorder_wins)
+            reorder_wins=self.reorder_wins - before.reorder_wins,
+            column_stats_built=self.column_stats_built
+            - before.column_stats_built,
+            remote_emissions=self.remote_emissions - before.remote_emissions)
         for key, count in self.rule_firings.items():
             fired = count - before.rule_firings.get(key, 0)
             if fired:
@@ -337,6 +352,8 @@ class EvalStats:
         self.plans_built += other.plans_built
         self.plan_cache_hits += other.plan_cache_hits
         self.reorder_wins += other.reorder_wins
+        self.column_stats_built += other.column_stats_built
+        self.remote_emissions += other.remote_emissions
         for key, count in other.rule_firings.items():
             self.fire(key, count)
         for record in other.strata:
@@ -355,6 +372,8 @@ class EvalStats:
             "plans_built": self.plans_built,
             "plan_cache_hits": self.plan_cache_hits,
             "reorder_wins": self.reorder_wins,
+            "column_stats_built": self.column_stats_built,
+            "remote_emissions": self.remote_emissions,
             "rule_firings": dict(sorted(self.rule_firings.items())),
             "strata": [record.as_dict() for record in self.strata],
         }
@@ -575,10 +594,20 @@ def eval_stratum(stratum: Stratum, db: Database, context: EvalContext,
     record = StratumStats(number=stratum.number)
     started = perf_counter()
     added: FactSet = {}
+    remote_emit = context.remote_emit
 
     def merge(new_facts: set, pred: str, delta_pool: FactSet) -> None:
         if not new_facts:
             return
+        if remote_emit is not None:
+            # Distributed evaluation: facts owned by another node are
+            # diverted to its outbox instead of asserted here; only the
+            # locally-owned remainder joins this node's delta frontier.
+            kept = remote_emit(pred, new_facts)
+            stats.remote_emissions += len(new_facts) - len(kept)
+            new_facts = kept
+            if not new_facts:
+                return
         relation = db.rel(pred)
         fresh = [fact for fact in new_facts if relation.add(fact)]
         if fresh:

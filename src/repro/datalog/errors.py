@@ -93,3 +93,8 @@ class WorkspaceError(ReproError):
 
 class NetworkError(ReproError):
     """Simulated-network misuse (unknown node, undeliverable message)."""
+
+
+class ClusterError(ReproError):
+    """Misuse of the sharded evaluation runtime (unknown node, placement
+    conflict, or a program shape distributed evaluation cannot run)."""

@@ -46,7 +46,11 @@ def format_value(value) -> str:
     if isinstance(value, bool):  # bool before int: True is an int
         return "true" if value else "false"
     if isinstance(value, str):
-        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        # Escape exactly what the lexer's escape map can decode: a raw
+        # newline/tab inside a string literal would otherwise produce
+        # source text that does not re-parse (codec round-trip asymmetry).
+        escaped = (value.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\t", "\\t"))
         return f'"{escaped}"'
     if isinstance(value, (int, float)):
         return repr(value)

@@ -9,10 +9,11 @@ A *binding* is a plain ``dict`` mapping variable names to ground Python
 values.  Plans order body items so that every comparison, builtin call and
 negated literal runs as soon as its inputs are bound (they are cheap
 filters).  Positive literals are ordered by a *cost model* when live
-relation sizes are available (estimated scan cost, each bound column
-assumed 10x selective), falling back to the greedy most-bound-columns
-heuristic otherwise; ties always break the greedy way, so plans only
-change when cardinalities actually justify it.
+relation sizes are available (estimated scan cost; a bound column keeps
+``1/distinct`` of the rows using the relation's per-column distinct
+counts, 10x selective as the statistics-free fallback), falling back to
+the greedy most-bound-columns heuristic otherwise; ties always break the
+greedy way, so plans only change when cardinalities actually justify it.
 
 Plans are *compiled*: scheduling decides once, per step, which argument
 positions are index-probe keys, which bind fresh variables, and which need
@@ -72,6 +73,12 @@ class EvalContext:
     #: core counts positive-literal matches (``literal_scans``) and how
     #: many of those had no bound column to index on (``full_scans``)
     stats: Any = None
+    #: per-round delta-exchange hook for distributed evaluation: called as
+    #: ``remote_emit(pred, facts)`` with each rule application's freshly
+    #: derived facts *before* they are asserted; returns the subset to
+    #: keep locally — the rest has been diverted to a remote owner (see
+    #: :mod:`repro.cluster`).  None on single-node evaluation (no cost).
+    remote_emit: Optional[Callable[[str, set], set]] = None
 
 
 class Unbound(Exception):
@@ -193,8 +200,9 @@ def literal_holds(atom: Atom, relation: Relation, bindings: Bindings,
 # Plans
 # ---------------------------------------------------------------------------
 
-#: Assumed selectivity of one bound column in the cost model: each bound
-#: column is taken to keep 1/10th of the relation's rows.
+#: Fallback selectivity of one bound column in the cost model, used only
+#: when no live relation is available to report a real distinct count:
+#: the column is then taken to keep 1/10th of the relation's rows.
 _BOUND_COLUMN_SELECTIVITY = 0.1
 
 #: The cost model only overrides the boundness-greedy order when its
@@ -433,11 +441,48 @@ class _BuiltinOp:
                 yield from cont(extended)
 
 
+class _FlatUnsupported(Exception):
+    """Internal signal: a plan step cannot be register-compiled."""
+
+
+def _compile_flat_term(term: Term, slot_of: dict) -> Callable:
+    """Compile a term into a ``registers -> value`` getter.
+
+    Supports constants, register-resident variables, arithmetic
+    expressions and partition terms over those.  Quotes (which need the
+    evaluation context's meta registry) raise :class:`_FlatUnsupported`,
+    sending the whole plan down the generic pipeline.
+    """
+    if isinstance(term, Constant):
+        value = term.value
+        return lambda registers: value
+    if isinstance(term, Variable):
+        slot = slot_of.get(term.name)
+        if slot is None:
+            raise _FlatUnsupported(term.name)
+        return lambda registers: registers[slot]
+    if isinstance(term, Expr):
+        op = term.op
+        left = _compile_flat_term(term.left, slot_of)
+        right = _compile_flat_term(term.right, slot_of)
+        return lambda registers: apply_arith(op, left(registers),
+                                             right(registers))
+    if isinstance(term, PartitionTerm):
+        pred = term.pred
+        keys = tuple(_compile_flat_term(k, slot_of) for k in term.keys)
+        return lambda registers: PredPartition(
+            pred, tuple(k(registers) for k in keys))
+    raise _FlatUnsupported(term)
+
+
 class _FlatStep:
     """One literal of a flat (register-based) plan; see :class:`FlatPlan`."""
 
+    kind = 0
+
     __slots__ = ("index", "pred", "negated", "arity", "key_positions",
-                 "key_const", "key_template", "var_fills", "free", "checks")
+                 "key_const", "key_template", "var_fills", "eval_fills",
+                 "free", "checks")
 
     def __init__(self, op: "_LiteralOp", slot_of: dict) -> None:
         self.index = op.index
@@ -450,6 +495,9 @@ class _FlatStep:
         self.var_fills = tuple(
             (template_slot, slot_of[name])
             for template_slot, name in op.key_var_slots)
+        self.eval_fills = tuple(
+            (template_slot, _compile_flat_term(term, slot_of))
+            for template_slot, term in op.key_eval_slots)
         if op.negated:
             self.free = ()  # existential: no bindings escape a negation
         else:
@@ -459,14 +507,78 @@ class _FlatStep:
         self.checks = op.checks
 
 
+#: Comparison-step modes (mirror of the generic :class:`_CompareOp`).
+_FLAT_CMP_FILTER, _FLAT_CMP_ASSIGN = 0, 1
+
+
+class _FlatCompareStep:
+    """A register-compiled comparison: filter, or '='-assignment to a slot."""
+
+    kind = 1
+
+    __slots__ = ("mode", "op", "left", "right", "slot", "value")
+
+    def __init__(self, op: "_CompareOp", slot_of: dict) -> None:
+        item = op.item
+        self.op = item.op
+        if op.mode == _ASSIGN_LEFT:
+            self.mode = _FLAT_CMP_ASSIGN
+            self.value = _compile_flat_term(item.right, slot_of)
+            self.slot = slot_of.setdefault(item.left.name, len(slot_of))
+            self.left = self.right = None
+        elif op.mode == _ASSIGN_RIGHT:
+            self.mode = _FLAT_CMP_ASSIGN
+            self.value = _compile_flat_term(item.left, slot_of)
+            self.slot = slot_of.setdefault(item.right.name, len(slot_of))
+            self.left = self.right = None
+        else:
+            self.mode = _FLAT_CMP_FILTER
+            self.left = _compile_flat_term(item.left, slot_of)
+            self.right = _compile_flat_term(item.right, slot_of)
+            self.slot = self.value = None
+
+
+#: Builtin output actions: bind a fresh slot / compare against a slot
+#: bound earlier / compare against a computed value.
+_OUT_BIND, _OUT_CHECK_SLOT, _OUT_CHECK_VALUE = 0, 1, 2
+
+
+class _FlatBuiltinStep:
+    """A register-compiled builtin call: inputs are getters, outputs
+    either bind fresh slots or check already-bound values."""
+
+    kind = 2
+
+    __slots__ = ("definition", "inputs", "outputs")
+
+    def __init__(self, op: "_BuiltinOp", slot_of: dict) -> None:
+        self.definition = op.definition
+        self.inputs = tuple(
+            _compile_flat_term(term, slot_of) for term in op.input_args)
+        outputs = []
+        for target in op.output_args:
+            if isinstance(target, Variable):
+                slot = slot_of.get(target.name)
+                if slot is None:
+                    slot = slot_of[target.name] = len(slot_of)
+                    outputs.append((_OUT_BIND, slot))
+                else:
+                    outputs.append((_OUT_CHECK_SLOT, slot))
+            else:
+                outputs.append(
+                    (_OUT_CHECK_VALUE, _compile_flat_term(target, slot_of)))
+        self.outputs = tuple(outputs)
+
+
 class FlatPlan:
-    """A register-compiled all-literal conjunction.
+    """A register-compiled conjunction.
 
     Variables live in numbered slots instead of binding dicts, so the
     innermost join loop does no dict copies and no generator suspensions
     — :func:`run_flat` walks it with plain recursion and a callback.
-    Only plans whose every step is a literal with const/var arguments
-    compile this way; anything fancier keeps the generic op pipeline.
+    Literals, comparisons ('=' assignment included), builtin calls and
+    expression-valued literal keys all compile; only quote terms (which
+    need the meta registry) keep the generic op pipeline.
     """
 
     __slots__ = ("steps", "nslots", "slot_of", "head_spec")
@@ -482,11 +594,20 @@ def _compile_flat(plan: "Plan") -> Optional[FlatPlan]:
     if plan.assumes:
         return None
     slot_of: dict[str, int] = {}
-    steps = []
-    for op in plan.ops:
-        if op.__class__ is not _LiteralOp or op.key_eval_slots:
-            return None
-        steps.append(_FlatStep(op, slot_of))
+    steps: list = []
+    try:
+        for op in plan.ops:
+            cls = op.__class__
+            if cls is _LiteralOp:
+                steps.append(_FlatStep(op, slot_of))
+            elif cls is _CompareOp:
+                steps.append(_FlatCompareStep(op, slot_of))
+            elif cls is _BuiltinOp:
+                steps.append(_FlatBuiltinStep(op, slot_of))
+            else:  # pragma: no cover - no other op kinds exist
+                return None
+    except _FlatUnsupported:
+        return None
     return FlatPlan(tuple(steps), slot_of)
 
 
@@ -508,6 +629,34 @@ def run_flat(flat: FlatPlan, db: Database, context: EvalContext,
             emit(registers)
             return
         step = steps[number]
+        kind = step.kind
+        if kind == 1:  # comparison: assignment or filter, then continue
+            if step.mode == _FLAT_CMP_ASSIGN:
+                registers[step.slot] = step.value(registers)
+            elif not apply_comparison(step.op, step.left(registers),
+                                      step.right(registers)):
+                return
+            run(number + 1)
+            return
+        if kind == 2:  # builtin call: bind/check outputs per result row
+            inputs = tuple(g(registers) for g in step.inputs)
+            following = number + 1
+            for row in invoke_builtin(step.definition, inputs,
+                                      context.payload):
+                ok = True
+                for (action, payload), value in zip(step.outputs, row):
+                    if action == _OUT_BIND:
+                        registers[payload] = value
+                    elif action == _OUT_CHECK_SLOT:
+                        if registers[payload] != value:
+                            ok = False
+                            break
+                    elif payload(registers) != value:
+                        ok = False
+                        break
+                if ok:
+                    run(following)
+            return
         if delta is not None and step.index == delta_position:
             source = delta.get(step.pred)
             if source is None:
@@ -524,6 +673,8 @@ def run_flat(flat: FlatPlan, db: Database, context: EvalContext,
                 filled = step.key_template.copy()
                 for template_slot, register in step.var_fills:
                     filled[template_slot] = registers[register]
+                for template_slot, getter in step.eval_fills:
+                    filled[template_slot] = getter(registers)
                 key = tuple(filled)
             # Zero-copy bucket: rule application stages its output, the
             # database is not mutated while this plan runs.
@@ -610,22 +761,27 @@ class Plan:
 
 
 def relation_sizes(items: tuple, db: Optional[Database]) -> Optional[dict]:
-    """Live cardinalities of the positive body predicates (cost-model input).
+    """Live statistics of the positive body predicates (cost-model input).
 
-    Returns None — "use the greedy heuristic" — when there is no database
-    or every body relation is below :data:`_COST_MODEL_MIN_SIZE`.
+    Values are the live :class:`Relation` objects themselves (so the cost
+    model can ask for per-column distinct counts), or ``0`` for predicates
+    with no relation yet.  Returns None — "use the greedy heuristic" —
+    when there is no database or every body relation is below
+    :data:`_COST_MODEL_MIN_SIZE`.
     """
     if db is None:
         return None
-    sizes: dict[str, int] = {}
+    sizes: dict[str, Any] = {}
     worth_it = False
     for item in items:
         if isinstance(item, Literal) and not item.negated:
             relation = db.get(item.atom.pred)
-            size = len(relation.tuples) if relation is not None else 0
-            sizes[item.atom.pred] = size
-            if size >= _COST_MODEL_MIN_SIZE:
-                worth_it = True
+            if relation is None:
+                sizes[item.atom.pred] = 0
+            else:
+                sizes[item.atom.pred] = relation
+                if len(relation.tuples) >= _COST_MODEL_MIN_SIZE:
+                    worth_it = True
     return sizes if worth_it else None
 
 
@@ -637,8 +793,10 @@ def build_plan(items: tuple, initially_bound: frozenset = frozenset(),
 
     ``first`` optionally forces one positive literal to the front (the
     semi-naive delta position).  ``sizes`` maps positive body predicates to
-    their live cardinalities; when provided, positive literals are chosen
-    by estimated scan cost instead of bound-column count alone.  Raises
+    their live :class:`Relation` objects (or plain cardinalities); when
+    provided, positive literals are chosen by estimated scan cost — with
+    per-column distinct-count selectivities where a relation is available —
+    instead of bound-column count alone.  Raises
     :class:`SafetyError` when some item can never have its inputs bound
     (unsafe rule).
     """
@@ -748,39 +906,52 @@ def build_plan(items: tuple, initially_bound: frozenset = frozenset(),
         remaining.remove(index)
         bind_outputs(index)
 
-    # Per-positive-literal cost-model inputs: argument variable names plus
-    # the count of statically-ground arguments (constants, var-free terms).
-    lit_arg_vars: dict[int, list] = {}
-    lit_static_bound: dict[int, int] = {}
+    # Per-positive-literal cost-model inputs: for each argument position,
+    # either None (statically ground: constants, var-free terms), a
+    # variable name, or the term itself (an Expr whose vars may be bound
+    # later — checked live against the current bound set).
+    lit_arg_info: dict[int, list] = {}
     if sizes is not None:
         for index, item in enumerate(items):
             if not positive[index]:
                 continue
-            arg_vars: list[str] = []
-            static = 0
-            for term in item.atom.all_args:
+            info: list = []
+            for position, term in enumerate(item.atom.all_args):
                 if isinstance(term, Variable):
-                    arg_vars.append(term.name)
+                    info.append((position, term.name))
                 elif isinstance(term, Constant) or not term_vars(term):
-                    static += 1
+                    info.append((position, None))
                 else:
-                    # an Expr's vars may be bound later; count it bound
-                    # only once every one of its vars is (checked live).
-                    arg_vars.append(term)  # type: ignore[arg-type]
-            lit_arg_vars[index] = arg_vars
-            lit_static_bound[index] = static
+                    info.append((position, term))
+            lit_arg_info[index] = info
 
     def scan_cost(index: int) -> float:
-        """Estimated rows touched: size shrunk 10x per bound column."""
-        columns = lit_static_bound[index]
-        for entry in lit_arg_vars[index]:
-            if entry.__class__ is str:
-                if entry in bound:
-                    columns += 1
-            elif term_vars(entry) <= bound:
-                columns += 1
-        return (sizes.get(items[index].atom.pred, 0)
-                * _BOUND_COLUMN_SELECTIVITY ** columns)
+        """Estimated rows touched after index-probing the bound columns.
+
+        Each bound column keeps ``1/distinct`` of the rows when the live
+        relation can report its distinct count, falling back to the fixed
+        :data:`_BOUND_COLUMN_SELECTIVITY` otherwise (missing relation).
+        """
+        source = sizes.get(items[index].atom.pred, 0)
+        relation = None if source.__class__ is int else source
+        cost = float(len(relation.tuples) if relation is not None else source)
+        if not cost:
+            return 0.0
+        for position, entry in lit_arg_info[index]:
+            if entry is None:
+                pass  # statically ground: always bound
+            elif entry.__class__ is str:
+                if entry not in bound:
+                    continue
+            elif not term_vars(entry) <= bound:
+                continue
+            if relation is not None:
+                distinct = relation.distinct_count(position)
+                cost *= 1.0 / distinct if distinct > 0 else \
+                    _BOUND_COLUMN_SELECTIVITY
+            else:
+                cost *= _BOUND_COLUMN_SELECTIVITY
+        return cost
 
     if first is not None:
         schedule(first)

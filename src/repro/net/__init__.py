@@ -1,5 +1,7 @@
 """Simulated network substrate: nodes, FIFO links, virtual clock, stats."""
 
+from .batch import DEFAULT_MAX_BATCH_BYTES, MessageBatcher
 from .network import LinkStats, SimulatedNetwork
 
-__all__ = ["LinkStats", "SimulatedNetwork"]
+__all__ = ["DEFAULT_MAX_BATCH_BYTES", "LinkStats", "MessageBatcher",
+           "SimulatedNetwork"]

@@ -95,6 +95,12 @@ def decode_fact_message(blob: bytes, registry) -> tuple[str, str, tuple]:
         payload = json.loads(blob.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
         raise NetworkError(f"undecodable message: {exc}") from exc
+    return _decode_item(payload, registry)
+
+
+def _decode_item(payload: Any, registry) -> tuple[str, str, tuple]:
+    if not isinstance(payload, dict):
+        raise NetworkError("malformed message payload")
     pred = payload.get("pred")
     fact = payload.get("fact")
     to = payload.get("to", "")
@@ -102,3 +108,50 @@ def decode_fact_message(blob: bytes, registry) -> tuple[str, str, tuple]:
             or not isinstance(to, str):
         raise NetworkError("malformed message payload")
     return to, pred, tuple(decode_value(v, registry) for v in fact)
+
+
+# ---------------------------------------------------------------------------
+# Batched messages (one envelope per destination node per round)
+# ---------------------------------------------------------------------------
+
+def encode_batch_item(pred: str, fact: tuple, registry,
+                      to: str = "") -> dict:
+    """One fact as a JSON-able batch entry (same shape as a single
+    fact message, minus the envelope)."""
+    return {
+        "to": to,
+        "pred": pred,
+        "fact": [encode_value(v, registry) for v in fact],
+    }
+
+
+def encode_batch_message(items: list, round_stamp: int = 0) -> bytes:
+    """Serialize pre-encoded batch items into one wire message.
+
+    ``items`` are :func:`encode_batch_item` dicts; ``round_stamp`` is the
+    sender's evaluation round, used by the quiescence protocol's ticket
+    ledger (see :mod:`repro.cluster.quiescence`).
+    """
+    payload = {"round": round_stamp, "batch": items}
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def decode_batch_message(blob: bytes, registry) -> tuple[int, list]:
+    """Decode a batch message: ``(round_stamp, [(to, pred, fact), ...])``.
+
+    Single-fact messages (no ``batch`` key) decode as a one-item batch
+    with round stamp 0, so mixed traffic stays readable.
+    """
+    try:
+        payload = json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise NetworkError(f"undecodable message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise NetworkError("malformed message payload")
+    batch = payload.get("batch")
+    if batch is None:
+        return 0, [_decode_item(payload, registry)]
+    round_stamp = payload.get("round", 0)
+    if not isinstance(batch, list) or not isinstance(round_stamp, int):
+        raise NetworkError("malformed batch payload")
+    return round_stamp, [_decode_item(item, registry) for item in batch]

@@ -1,0 +1,58 @@
+"""Ticket-counting quiescence: the protocol, not the transport."""
+
+import pytest
+
+from repro.cluster.quiescence import TicketLedger
+
+
+class TestTicketLedger:
+    def test_not_quiescent_before_any_round(self):
+        assert not TicketLedger().quiescent()
+
+    def test_outstanding_tickets_block_quiescence(self):
+        ledger = TicketLedger()
+        ledger.issue(0, 2)
+        ledger.close_round(0, new_facts=5, clock=1.0)
+        assert ledger.outstanding() == 2
+        assert not ledger.quiescent()
+        ledger.retire(0)
+        ledger.retire(0)
+        assert ledger.outstanding() == 0
+        # still not quiescent: the last closed round was active
+        assert not ledger.quiescent()
+        ledger.close_round(1, new_facts=0, clock=2.0)
+        assert ledger.quiescent()
+
+    def test_new_facts_without_messages_block_quiescence(self):
+        ledger = TicketLedger()
+        ledger.close_round(0, new_facts=3, clock=0.0)
+        assert not ledger.quiescent()
+        ledger.close_round(1, new_facts=0, clock=0.0)
+        assert ledger.quiescent()
+
+    def test_retiring_more_than_issued_is_loud(self):
+        ledger = TicketLedger()
+        ledger.issue(0)
+        ledger.retire(0)
+        with pytest.raises(AssertionError):
+            ledger.retire(0)
+
+    def test_convergence_clock_is_last_productive_round(self):
+        ledger = TicketLedger()
+        ledger.issue(0, 1)
+        ledger.close_round(0, new_facts=4, clock=1.0)
+        ledger.retire(0)
+        ledger.close_round(1, new_facts=2, clock=3.0)
+        ledger.close_round(2, new_facts=0, clock=9.0)  # the idle confirm round
+        assert ledger.quiescent()
+        assert ledger.convergence_clock() == 3.0
+
+    def test_round_records_track_per_round_tickets(self):
+        ledger = TicketLedger()
+        ledger.issue(0, 3)
+        record = ledger.close_round(0, new_facts=1, clock=0.5)
+        assert record.issued == 3 and record.retired == 0
+        ledger.retire(0, 2)
+        record = ledger.close_round(1, new_facts=0, clock=1.5)
+        assert record.retired == 2
+        assert ledger.outstanding() == 1

@@ -151,3 +151,48 @@ class TestNetworkIntegration:
         report = system.run()
         assert report.bytes > 0
         assert system.network.total.messages == 1
+
+
+class TestOpenNetworkRobustness:
+    """The system's network is open: foreign/corrupted traffic must be
+    rejected and audited, never crash the run loop (PR-3 regressions)."""
+
+    def test_injected_garbage_is_rejected_not_fatal(self, make_system):
+        system = make_system("plaintext")
+        a = system.create_principal("a")
+        b = system.create_principal("b")
+        b.load("seen(X) <- msg(X).")
+        a.says(b, 'msg("real").')
+        system.network.send("a", "b", b"\xff not a message")
+        report = system.run()
+        assert b.tuples("seen") == {("real",)}
+        assert report.rejected == 1
+        assert report.rejected_detail[0][0] == "<decode>"
+
+    def test_legacy_single_fact_message_imports(self, make_system):
+        from repro.net.transport import encode_fact_message
+
+        system = make_system("plaintext")
+        system.create_principal("a")
+        b = system.create_principal("b")
+        b.load("seen(X) <- msg(X).")
+        blob = encode_fact_message("msg", ("legacy",), system.registry,
+                                   to="b")
+        system.network.send("a", "b", blob)
+        report = system.run()
+        assert b.tuples("seen") == {("legacy",)}
+        assert report.delivered == 1
+        assert report.rejected == 0
+
+    def test_batches_count_includes_early_size_capped_flushes(
+            self, make_system):
+        system = make_system("plaintext", max_batch_bytes=64)
+        a = system.create_principal("a")
+        b = system.create_principal("b")
+        b.load("seen(X) <- msg(X).")
+        for i in range(20):
+            a.says(b, f'msg("payload number {i}").')
+        report = system.run()
+        assert len(b.tuples("seen")) == 20
+        assert report.batches == system.network.total.messages
+        assert report.batches > 1  # the cap actually split the round

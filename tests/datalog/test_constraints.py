@@ -126,3 +126,30 @@ class TestMultipleConstraints:
         constraint = constraint_of("X > 3 -> q(X).")
         with pytest.raises(SafetyError):
             check_constraint(constraint, db_with({}), EvalContext())
+
+
+class TestConstraintPlansOverLargeRelations:
+    def test_band_keyed_cache_handles_relation_valued_sizes(self):
+        # regression: relation_sizes() returns live Relation objects since
+        # the distinct-count statistics; the constraint plan cache must
+        # band on their cardinality, not compare them to ints
+        from repro.datalog.parser import parse_statements
+        from repro.datalog.runtime import EvalContext
+        from repro.datalog.terms import Constraint
+
+        (constraint,) = [
+            s for s in parse_statements("big(X) -> ok(X).")
+            if isinstance(s, Constraint)
+        ]
+        db = Database()
+        for i in range(100):  # past _COST_MODEL_MIN_SIZE: sized plans engage
+            db.add("big", (i,))
+            db.add("ok", (i,))
+        cache: dict = {}
+        assert check_constraints([constraint], db, EvalContext(),
+                                 plan_cache=cache) == []
+        assert cache  # the sized plan was cached
+        db.add("big", (100,))
+        violations = check_constraints([constraint], db, EvalContext(),
+                                       plan_cache=cache)
+        assert len(violations) == 1

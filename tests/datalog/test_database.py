@@ -228,3 +228,45 @@ class TestSnapshotRestoreCOW:
         snapshot.add("p", ("b",))  # mutating the snapshot copy is also safe
         assert database.tuples("p") == {("a",)}
         assert snapshot.tuples("p") == {("a",), ("b",)}
+
+
+class TestDistinctCounts:
+    def test_scan_then_cache(self):
+        relation = Relation("p", {(0, "a"), (1, "a"), (2, "b")})
+        assert relation.distinct_count(0) == 3
+        assert relation.distinct_count(1) == 2
+        # cached: mutating invalidates, unchanged reads do not recompute
+        assert relation._col_stats[0][1] == 3
+        relation.add((3, "c"))
+        assert relation.distinct_count(0) == 4
+        assert relation.distinct_count(1) == 3
+        relation.discard((3, "c"))
+        assert relation.distinct_count(1) == 2
+
+    def test_single_column_index_answers_without_scan(self):
+        from repro.datalog.database import set_index_stats
+        from repro.datalog.engine import EvalStats
+
+        relation = Relation("p", {(i % 4, i) for i in range(20)})
+        relation.lookup((0,), (1,))  # builds the (0,) index
+        stats = EvalStats()
+        previous = set_index_stats(stats)
+        try:
+            assert relation.distinct_count(0) == 4   # from the index
+            assert relation.distinct_count(1) == 20  # needs a scan
+        finally:
+            set_index_stats(previous)
+        assert stats.column_stats_built == 1
+
+    def test_views_do_not_share_stat_caches(self):
+        relation = Relation("p", {(0,), (1,)})
+        assert relation.distinct_count(0) == 2
+        view = relation.view()
+        assert view.distinct_count(0) == 2
+        view.add((2,))
+        assert view.distinct_count(0) == 3
+        assert relation.distinct_count(0) == 2
+
+    def test_short_tuples_are_skipped(self):
+        relation = Relation("p", {(0,), (1, 2)})
+        assert relation.distinct_count(1) == 1

@@ -122,6 +122,34 @@ class TestPlannerCounters:
         assert db.tuples("h") == {(i,) for i in range(30)}
         assert stats.reorder_wins == 0
 
+    def test_distinct_counts_beat_fixed_selectivity(self):
+        # Both dup and uniq have 100 facts and one bound column, so the
+        # fixed-0.1 model scores them identically and the greedy source
+        # order (dup first) would stand.  Real distinct counts see that
+        # X selects 50 dup rows but only 1 uniq row, and reorder.
+        rules = [s for s in parse_statements(
+            "sel: h(Y) <- a(X), dup(X,Y), uniq(X,Y).")
+            if isinstance(s, Rule)]
+        db = Database()
+        db.add("a", (0,))
+        db.add("a", (1,))
+        for i in range(100):
+            db.add("dup", (i % 2, i))     # col 0 distinct: 2
+            db.add("uniq", (i, i))        # col 0 distinct: 100
+        stats = EvalStats()
+        evaluate(rules, db, EvalContext(stats=stats), stats=stats)
+        assert db.tuples("h") == {(0,), (1,)}
+        assert stats.plans_built == 1
+        assert stats.reorder_wins == 1
+        # one full scan of a, then per a-row one uniq probe and one fully
+        # bound dup membership probe — not 50 dup rows per a-row.
+        assert stats.full_scans == 1
+        assert stats.literal_scans == 5
+        # the planner computed distinct counts for dup/uniq column 0 once
+        # each (cached on the relation afterwards).
+        assert stats.column_stats_built == 2
+        assert stats.rule_firings == {"sel": 2}
+
     def test_counters_survive_merge_diff_and_as_dict(self):
         _, stats = run_chain()
         merged = EvalStats()

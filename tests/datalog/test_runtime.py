@@ -183,7 +183,10 @@ class TestCostBasedPlan:
         for i in range(100):
             db.add("big", (i,))
         db.add("small", (1,))
-        assert relation_sizes(body, db) == {"big": 100, "small": 1}
+        stats = relation_sizes(body, db)
+        # values are the live relations themselves (distinct-count source)
+        assert stats["big"] is db.get("big")
+        assert stats["small"] is db.get("small")
         tiny = Database()
         tiny.add("big", (1,))
         tiny.add("small", (1,))
@@ -219,8 +222,20 @@ class TestPlanReuse:
         plan = build_plan(body, builtins=standard_registry())
         assert plan.flat() is not None
 
-    def test_flat_compilation_rejects_filters(self):
+    def test_flat_compilation_covers_filters(self):
         body = body_of("h(X) <- a(X), X > 3.")
+        plan = build_plan(body, builtins=standard_registry())
+        assert plan.flat() is not None
+
+    def test_flat_compilation_covers_assignment_and_builtins(self):
+        body = compiled_body("h(Y,N) <- p(X,S), Y = X + 1, strlen(S,N).")
+        plan = build_plan(body, builtins=standard_registry())
+        flat = plan.flat()
+        assert flat is not None
+        assert {"X", "S", "Y", "N"} <= set(flat.slot_of)
+
+    def test_flat_compilation_rejects_quote_terms(self):
+        body = body_of("h(X) <- says(X, [| q(X). |]).")
         plan = build_plan(body, builtins=standard_registry())
         assert plan.flat() is None
 

@@ -110,3 +110,46 @@ def test_workspace_typecheck_api():
     """)
     issues = workspace.typecheck()
     assert any(issue.variable == "X" for issue in issues)
+
+
+class TestClusterSubcommand:
+    def run_demo(self, *argv):
+        import io
+
+        from repro.cluster.demo import main
+
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_demo_runs_and_reports(self):
+        code, output = self.run_demo("--nodes", "3", "--vertices", "20")
+        assert code == 0
+        assert "3 node(s)" in output
+        assert "fixpoint:" in output
+        assert "batch message(s)" in output
+        # per-node rows for every node
+        for name in ("node0", "node1", "node2"):
+            assert name in output
+
+    def test_single_node_demo_has_no_traffic(self):
+        code, output = self.run_demo("--nodes", "1", "--vertices", "12")
+        assert code == 0
+        assert "0 batch message(s)" in output
+
+    def test_bad_arguments_rejected(self):
+        code, _output = self.run_demo("--nodes", "0")
+        assert code == 2
+
+    def test_dispatch_from_main(self):
+        # `repro cluster ...` routes through the top-level entry point
+        import subprocess
+        import sys as _sys
+
+        result = subprocess.run(
+            [_sys.executable, "-m", "repro", "cluster", "--nodes", "2",
+             "--vertices", "12"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "fixpoint:" in result.stdout
