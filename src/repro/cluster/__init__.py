@@ -4,7 +4,12 @@ The paper *represents* distribution (``predNode`` placement, section
 3.5); this package *executes* it: hash/range-partitioned EDB shards,
 per-node semi-naive evaluation with an engine-level delta-exchange
 hook, batched delta messages, and ticket-counted distributed
-quiescence.  See :mod:`repro.cluster.runtime` for the full protocol.
+quiescence.  The :mod:`~repro.cluster.scheduler` module is the unified
+:class:`ExecutionRuntime` that drives both Datalog shards and principal
+workspaces in ``bsp`` or ``async`` (overlapped) mode; the
+:mod:`~repro.cluster.placement_check` module statically verifies that a
+program's joins are co-located under the placement.  See
+:mod:`repro.cluster.runtime` for the full protocol.
 """
 
 from .node import ClusterNode
@@ -16,20 +21,40 @@ from .partition import (
     PlacementMap,
     stable_hash,
 )
+from .placement_check import (
+    PlacementIssue,
+    analyze_join_compatibility,
+    check_join_compatibility,
+)
 from .quiescence import RoundRecord, TicketLedger
 from .runtime import Cluster, ClusterReport, NodeReport
+from .scheduler import (
+    MODE_ASYNC,
+    MODE_BSP,
+    SCHEDULER_MODES,
+    ExecutionRuntime,
+    RuntimeReport,
+)
 
 __all__ = [
     "Cluster",
     "ClusterNode",
     "ClusterReport",
+    "ExecutionRuntime",
+    "MODE_ASYNC",
+    "MODE_BSP",
     "MODE_LOCAL",
     "MODE_PARTITIONED",
     "MODE_REPLICATED",
     "NodeReport",
     "Partitioner",
+    "PlacementIssue",
     "PlacementMap",
     "RoundRecord",
+    "RuntimeReport",
+    "SCHEDULER_MODES",
     "TicketLedger",
+    "analyze_join_compatibility",
+    "check_join_compatibility",
     "stable_hash",
 ]

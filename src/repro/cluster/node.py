@@ -18,6 +18,11 @@ accumulates plain fact sets, incoming batches are handed to
 :func:`~repro.datalog.engine.propagate_insertions` as-is, and the
 stratum loop wraps them via :meth:`Relation.wrap` — the same COW
 handoff single-node semi-naive uses for its deltas.
+
+The node speaks the :class:`~repro.cluster.scheduler.ExecutionRuntime`
+protocol (``bootstrap`` / ``integrate`` / ``drain_outbox`` /
+``quiesce``), so the same scheduler that drives principal workspaces
+drives Datalog shards — one execution model, two node kinds.
 """
 
 from __future__ import annotations
@@ -41,6 +46,12 @@ from .partition import MODE_LOCAL, MODE_REPLICATED, Partitioner
 class ClusterNode:
     """A named shard: local database, rules, stats, and a delta outbox."""
 
+    #: integrate() only ever fills *this* node's outbox, so the async
+    #: scheduler need not offer other nodes a drain after a delivery
+    #: here (unlike workspace hosts, whose imports land at whichever
+    #: node hosts the destination principal).
+    integration_is_local = True
+
     def __init__(self, name: str, partitioner: Partitioner,
                  builtins: Optional[BuiltinRegistry] = None) -> None:
         self.name = name
@@ -55,8 +66,16 @@ class ClusterNode:
         #: facts awaiting exchange: destination -> pred -> set
         self.outbox: dict[str, FactSet] = {}
         #: (dst, pred, fact) already queued — a re-derived remote fact
-        #: must not be resent every round its body delta rematches
+        #: must not be resent every round its body delta rematches.  The
+        #: whole set belongs to one *generation* (``sent_generation``):
+        #: :meth:`quiesce` clears it and opens the next generation once
+        #: the runtime proves global convergence (every queued fact has
+        #: been delivered and asserted at its owner by then, so a later
+        #: re-derivation resends at most once and is deduplicated on
+        #: arrival), keeping long-running clusters' memory bounded by
+        #: one run's traffic instead of growing forever.
         self._sent: set = set()
+        self.sent_generation = 0
         self.sent_facts = 0
         self.received_facts = 0
         self._peers = tuple(n for n in partitioner.nodes if n != name)
@@ -116,10 +135,10 @@ class ClusterNode:
         self.outbox.setdefault(dst, {}).setdefault(pred, set()).add(fact)
 
     # ------------------------------------------------------------------
-    # Evaluation rounds
+    # The ExecutionRuntime node protocol
     # ------------------------------------------------------------------
 
-    def run_initial(self) -> int:
+    def bootstrap(self) -> int:
         """Run the full local fixpoint over the seeded shard."""
         new_facts = 0
         for stratum in self.strata:
@@ -128,8 +147,16 @@ class ClusterNode:
             new_facts += sum(len(facts) for facts in added.values())
         return new_facts
 
-    def integrate(self, incoming: FactSet) -> int:
-        """Absorb one round's received deltas; returns new local facts.
+    def integrate(self, items: Iterable[tuple]) -> int:
+        """Absorb one delivery's ``(to, pred, fact)`` items (``to`` is
+        principal routing, unused by plain shards)."""
+        incoming: FactSet = {}
+        for _to, pred, fact in items:
+            incoming.setdefault(pred, set()).add(fact)
+        return self.integrate_facts(incoming)
+
+    def integrate_facts(self, incoming: FactSet) -> int:
+        """Absorb received deltas; returns new local facts.
 
         Novel facts are asserted, recorded as received EDB, and pushed
         through the strata semi-naive — re-entering ``_emit`` for any
@@ -152,7 +179,7 @@ class ClusterNode:
             count += sum(len(facts) for facts in added.values())
         return count
 
-    def drain_outbox(self, sink: Callable[[str, str, tuple], None]) -> int:
+    def drain_outbox(self, sink: Callable) -> int:
         """Hand every queued fact to ``sink(dst, pred, fact)``; clear."""
         drained = 0
         for dst in sorted(self.outbox):
@@ -164,6 +191,22 @@ class ClusterNode:
         self.outbox = {}
         self.sent_facts += drained
         return drained
+
+    def quiesce(self) -> None:
+        """Global quiescence reached: open a new dedup generation.
+
+        Every marker in ``_sent`` describes a fact that has been
+        delivered and asserted at its owner, so the markers are only
+        protecting against *redundant* resends, not correctness — and a
+        redundant resend is deduplicated by the owner's ``Relation.add``.
+        Clearing here bounds the set's memory by one run's traffic; the
+        evicted count is observable as
+        :attr:`EvalStats.sent_dedup_evictions`.
+        """
+        if self._sent:
+            self.stats.sent_dedup_evictions += len(self._sent)
+            self._sent = set()
+        self.sent_generation += 1
 
     # ------------------------------------------------------------------
 

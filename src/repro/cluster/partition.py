@@ -130,13 +130,46 @@ class Partitioner:
         """Broadcast ``pred``'s facts to every node."""
         self._declare(pred, _Rule(MODE_REPLICATED))
 
+    def force_replicate(self, pred: str) -> None:
+        """Override any existing placement of ``pred`` with replication.
+
+        Used by the join-compatibility checker's auto-replicate policy,
+        which deliberately *changes* an incompatible placement — the
+        conflict guard in :meth:`_declare` does not apply.
+        """
+        self._rules[pred] = _Rule(MODE_REPLICATED)
+
     def place(self, pred: str, key: tuple, node: str) -> None:
         """Pin one partition explicitly (``predNode``-style override)."""
         if node not in self.nodes:
             raise ClusterError(f"unknown node {node!r}")
+        key = tuple(key)
+        if len(key) != 1:
+            # owner() probes pins with the single partition-column value;
+            # a wider key could never match and would be silently ignored
+            # (multi-column pins belong to the workspace predNode path,
+            # which looks up full key_arity prefixes via PlacementMap).
+            raise ClusterError(
+                f"partitioner pins take a single-column key, got {key!r}")
         if pred not in self._rules:
             self._rules[pred] = _Rule(MODE_PARTITIONED, 0)
         self.pins.place(pred, key, node)
+
+    def placement_snapshot(self) -> dict:
+        """The current per-predicate placement rules, for rollback.
+
+        ``_Rule`` objects are immutable in practice (force_replicate
+        swaps them wholesale), so a shallow copy suffices.
+        """
+        return dict(self._rules)
+
+    def restore_placement(self, snapshot: dict) -> None:
+        """Roll the placement rules back to a prior snapshot.
+
+        Used by :meth:`Cluster.load` when a later static check rejects a
+        program after auto-replication already mutated the placement.
+        """
+        self._rules = dict(snapshot)
 
     def _declare(self, pred: str, rule: _Rule) -> None:
         existing = self._rules.get(pred)
@@ -151,6 +184,32 @@ class Partitioner:
     def mode(self, pred: str) -> str:
         rule = self._rules.get(pred)
         return rule.mode if rule is not None else MODE_LOCAL
+
+    def key_column(self, pred: str) -> Optional[int]:
+        """The partition-key column of ``pred``, or None when not
+        partitioned."""
+        rule = self._rules.get(pred)
+        if rule is None or rule.mode != MODE_PARTITIONED:
+            return None
+        return rule.column
+
+    def scheme_signature(self, pred: str) -> tuple:
+        """A comparable rendering of how ``pred``'s key values map to nodes.
+
+        Two predicates with equal signatures send equal key values to
+        the same node: same strategy (hash over the shared node list, or
+        ranges with identical boundaries) and identical explicit pins.
+        Consumed by the static join-compatibility checker.
+        """
+        rule = self._rules.get(pred)
+        boundaries = rule.boundaries if rule is not None else None
+        pins = tuple(sorted(
+            (key, node)
+            for (pinned_pred, key), node in self.pins._entries.items()
+            if pinned_pred == pred
+        ))
+        strategy = "range" if boundaries is not None else "hash"
+        return (strategy, boundaries, pins)
 
     def is_exchanged(self, pred: str) -> bool:
         return self.mode(pred) != MODE_LOCAL

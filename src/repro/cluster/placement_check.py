@@ -1,0 +1,172 @@
+"""Static join-compatibility checking of rule bodies against a placement.
+
+The PR-3 sharded runtime's correctness contract was *"union-of-shards
+equals the single-node fixpoint iff the placement is join-compatible —
+the programmer's responsibility, exactly as ``predNode`` placement is in
+the paper"*.  This module turns that contract into a machine check at
+``load()`` time.
+
+A rule is **join-compatible** with a placement when every pair of facts
+its body must join is guaranteed co-located on some node.  Facts of
+*replicated* predicates are everywhere; facts of *local* predicates are
+wherever they were derived (their distribution is part of the program's
+meaning, as in the paper's ``predNode``); so the constraint falls on the
+**partitioned** body predicates: if a rule reads two or more of them,
+their partition-key columns must be bound to the *same* term (the same
+variable, or equal constants) **and** their placement schemes must route
+equal key values to the same node — same hash function over the same
+node list, identical range boundaries, identical explicit pins.
+
+When a rule fails the check the loader either **rejects** it with a
+diagnostic naming the rule and the mismatched columns, or — under
+``on_incompatible="replicate"`` — **auto-replicates** every partitioned
+body predicate after the first, restoring correctness at the cost of
+broadcast traffic (reported back to the caller so the decision is never
+silent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..datalog.errors import ClusterError
+from ..datalog.terms import Constant, Literal, Term, Variable
+from .partition import MODE_PARTITIONED, Partitioner
+
+#: Policies for handling an incompatible rule at load time.
+ON_INCOMPATIBLE = ("reject", "replicate")
+
+
+@dataclass
+class PlacementIssue:
+    """One rule whose partitioned body literals cannot be co-located."""
+
+    rule_label: str
+    detail: str
+    #: partitioned predicates involved, with their key columns
+    preds: tuple
+
+    def __str__(self) -> str:
+        return f"rule {self.rule_label!r}: {self.detail}"
+
+
+def _key_term(literal: Literal, column: int) -> Optional[Term]:
+    args = literal.atom.all_args
+    if column >= len(args):
+        return None
+    return args[column]
+
+
+def _terms_colocate(left: Term, right: Term) -> bool:
+    """True when two partition-key terms always carry equal values."""
+    if isinstance(left, Variable) and isinstance(right, Variable):
+        return left.name == right.name
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        return left.value == right.value
+    return False
+
+
+def analyze_join_compatibility(rules: Iterable,
+                               partitioner: Partitioner) -> list[PlacementIssue]:
+    """Every rule whose body joins are not co-located under the placement.
+
+    ``rules`` are engine rules (single-head, normalized).  Negated
+    literals are ignored — negation over exchanged predicates is already
+    rejected outright by the distributability check.
+    """
+    issues: list[PlacementIssue] = []
+    if len(partitioner.nodes) <= 1:
+        return issues  # one node: everything is trivially co-located
+    for rule in rules:
+        partitioned: list[tuple[Literal, str, int]] = []
+        for item in rule.body:
+            if not isinstance(item, Literal) or item.negated:
+                continue
+            pred = item.atom.pred
+            column = partitioner.key_column(pred)
+            if column is None:
+                continue
+            partitioned.append((item, pred, column))
+        if len(partitioned) <= 1:
+            continue
+        label = rule.label or rule.head.pred
+        anchor_literal, anchor_pred, anchor_column = partitioned[0]
+        anchor_term = _key_term(anchor_literal, anchor_column)
+        anchor_scheme = partitioner.scheme_signature(anchor_pred)
+        for literal, pred, column in partitioned[1:]:
+            term = _key_term(literal, column)
+            if anchor_term is None or term is None:
+                issues.append(PlacementIssue(
+                    rule_label=label,
+                    detail=(f"partition column {column} of {pred!r} is out "
+                            f"of range for {literal.atom!r}"),
+                    preds=((anchor_pred, anchor_column), (pred, column)),
+                ))
+                continue
+            if not _terms_colocate(anchor_term, term):
+                issues.append(PlacementIssue(
+                    rule_label=label,
+                    detail=(
+                        f"{anchor_pred!r} is partitioned on column "
+                        f"{anchor_column} (bound to {anchor_term!r}) but "
+                        f"{pred!r} is partitioned on column {column} "
+                        f"(bound to {term!r}); the join is only "
+                        f"co-located when both partition keys bind the "
+                        f"same term"
+                    ),
+                    preds=((anchor_pred, anchor_column), (pred, column)),
+                ))
+            elif (pred != anchor_pred
+                  and partitioner.scheme_signature(pred) != anchor_scheme):
+                issues.append(PlacementIssue(
+                    rule_label=label,
+                    detail=(
+                        f"{anchor_pred!r} (column {anchor_column}) and "
+                        f"{pred!r} (column {column}) agree on the join key "
+                        f"but use different placement schemes, so equal "
+                        f"keys may live on different nodes"
+                    ),
+                    preds=((anchor_pred, anchor_column), (pred, column)),
+                ))
+    return issues
+
+
+def check_join_compatibility(rules: Iterable, partitioner: Partitioner,
+                             on_incompatible: str = "reject") -> list[str]:
+    """Enforce join compatibility; returns auto-replicated predicates.
+
+    ``on_incompatible="reject"`` raises :class:`ClusterError` naming the
+    first offending rule and its mismatched columns;
+    ``"replicate"`` instead flips the non-anchor partitioned predicates
+    of each offending rule to replicated placement (iterating until the
+    program is clean) and returns the predicates it changed.
+    """
+    if on_incompatible not in ON_INCOMPATIBLE:
+        raise ClusterError(
+            f"unknown incompatibility policy {on_incompatible!r}; pick one "
+            f"of {'/'.join(ON_INCOMPATIBLE)}")
+    rule_list = list(rules)
+    replicated: list[str] = []
+    while True:
+        issues = analyze_join_compatibility(rule_list, partitioner)
+        if not issues:
+            return replicated
+        if on_incompatible == "reject":
+            raise ClusterError(
+                "join-incompatible placement: "
+                + "; ".join(str(issue) for issue in issues)
+                + " — repartition the predicates onto a shared key column, "
+                  "replicate one of them, or load with "
+                  "on_incompatible='replicate'"
+            )
+        progressed = False
+        for issue in issues:
+            for pred, _column in issue.preds[1:]:
+                if partitioner.mode(pred) == MODE_PARTITIONED:
+                    partitioner.force_replicate(pred)
+                    replicated.append(pred)
+                    progressed = True
+        if not progressed:  # pragma: no cover - defensive
+            raise ClusterError(
+                "placement auto-replication failed to converge")

@@ -1,4 +1,4 @@
-"""Distributed quiescence: round-stamped ticket counting.
+"""Distributed quiescence: per-sender round-vector ticket counting.
 
 A sharded fixpoint has converged exactly when (a) no node can derive
 anything new from what it already holds and (b) no delta batch is still
@@ -8,15 +8,24 @@ convergence while a message is sitting in a link queue; the classic fix
 ticket — issued at send, retired at receive — and only declare
 quiescence when every ticket ever issued has been retired.
 
-The :class:`TicketLedger` stamps tickets with the sender's evaluation
-round and records the virtual clock at which each round closed, so a
-converged run can report *when* (in simulated time) the system went
-quiet, not just that it did.
+Since the overlapped (async) scheduler delivers batches out of order,
+the ledger keeps a **round vector per sender**: tickets are counted per
+``(sender, round_stamp)`` slot rather than in one global pair of
+counters.  That keeps the protocol exact under reordering, duplication
+and delay — a duplicated or fabricated delivery over-retires *its own*
+slot and is detected immediately, even while other senders legitimately
+have tickets outstanding (a global counter would have masked it).
+
+The ledger stamps tickets with the sender's evaluation round and records
+the virtual clock at which each round closed, so a converged run can
+report *when* (in simulated time) the system went quiet, not just that
+it did.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Hashable, Optional
 
 
 @dataclass
@@ -32,46 +41,153 @@ class RoundRecord:
 
 @dataclass
 class TicketLedger:
-    """Issue/retire message tickets; decide distributed quiescence."""
+    """Issue/retire message tickets; decide distributed quiescence.
+
+    ``issued``/``retired`` stay as global totals (cheap outstanding
+    check); ``_vector`` holds the per-``(sender, round)`` split that
+    makes over-retirement detection exact.  ``sender`` is any hashable
+    node identity; callers that predate the round-vector generalization
+    simply leave it ``None`` and share one anonymous sender slot.
+    """
 
     issued: int = 0
     retired: int = 0
+    #: ``(sender, round) -> [issued, retired]``
+    _vector: dict = field(default_factory=dict)
     _per_round_issued: dict = field(default_factory=dict)
-    _per_round_retired: dict = field(default_factory=dict)
+    #: ``retired`` total already attributed to a closed RoundRecord
+    _retired_recorded: int = 0
     rounds: list = field(default_factory=list)
 
-    def issue(self, round_stamp: int, count: int = 1) -> None:
-        """Register ``count`` messages sent during ``round_stamp``."""
+    def issue(self, round_stamp: int, count: int = 1,
+              sender: Optional[Hashable] = None) -> None:
+        """Register ``count`` messages sent by ``sender`` during
+        ``round_stamp``."""
         self.issued += count
+        slot = self._vector.setdefault((sender, round_stamp), [0, 0])
+        slot[0] += count
         self._per_round_issued[round_stamp] = \
             self._per_round_issued.get(round_stamp, 0) + count
 
-    def retire(self, round_stamp: int, count: int = 1) -> None:
-        """Register ``count`` messages received (stamped at their send round)."""
-        self.retired += count
-        self._per_round_retired[round_stamp] = \
-            self._per_round_retired.get(round_stamp, 0) + count
-        if self.retired > self.issued:
-            # A retired ticket that was never issued means the transport
-            # duplicated or fabricated a message — surface loudly.
+    def retire(self, round_stamp: int, count: int = 1,
+               sender: Optional[Hashable] = None) -> None:
+        """Register ``count`` messages received (stamped at their send round).
+
+        Retiring more tickets than ``sender`` issued for ``round_stamp``
+        means the transport duplicated or fabricated a message — that is
+        surfaced loudly *per slot*, so the fault is caught even while
+        other senders still have tickets legitimately in flight.
+        """
+        slot = self._vector.get((sender, round_stamp))
+        if slot is None or slot[1] + count > slot[0]:
             raise AssertionError(
-                f"ticket ledger retired {self.retired} > issued {self.issued}"
+                f"ticket ledger: sender {sender!r} round {round_stamp} "
+                f"retired {(slot[1] + count) if slot else count} > issued "
+                f"{slot[0] if slot else 0}"
             )
+        slot[1] += count
+        self.retired += count
+
+    def retire_guarded(self, round_stamp: int,
+                       sender: Optional[Hashable] = None) -> bool:
+        """Retire one ticket iff ``(sender, round_stamp)`` has one in flight.
+
+        For *open* transports (the LBTrust system's network, where tests
+        and adversaries inject raw messages no batcher ever ticketed):
+        foreign traffic retires nothing instead of crashing the ledger.
+        Returns True when a real ticket was retired.
+        """
+        slot = self._vector.get((sender, round_stamp))
+        if slot is None or slot[1] >= slot[0]:
+            return False
+        self.retire(round_stamp, sender=sender)
+        return True
+
+    def retire_any(self, sender: Optional[Hashable] = None) -> bool:
+        """Retire ``sender``'s oldest outstanding ticket, whatever round.
+
+        For a ticketed batch whose *payload* was corrupted in transit:
+        the receiver cannot read the round stamp, but the message
+        arriving at all proves some ticket of that sender is in flight.
+        Retiring the oldest outstanding slot keeps the ledger's totals
+        truthful without wedging quiescence on an unreadable stamp.
+        Returns False (retiring nothing) when the sender has no ticket
+        outstanding — i.e. the corrupt blob was foreign traffic.
+        """
+        candidates = sorted(
+            stamp for (who, stamp), slot in self._vector.items()
+            if who == sender and slot[1] < slot[0]
+        )
+        if not candidates:
+            return False
+        self.retire(candidates[0], sender=sender)
+        return True
+
+    def compact(self) -> None:
+        """Drop per-slot bookkeeping once nothing is in flight.
+
+        Round-vector slots and per-round issue counts exist to match
+        future retires and round closes; with zero tickets outstanding
+        no retire can ever reference them again (BSP round numbers are
+        monotone, async stamps are never closed by number), so a
+        long-lived ledger compacts them at each quiescence instead of
+        growing with every run.  The ``rounds`` trail is kept — it is
+        the run history callers diff — and the global totals carry the
+        invariant forward.  A no-op while tickets are outstanding (an
+        open transport's capped best-effort run may stop early).
+        """
+        if self.outstanding():
+            return
+        self._vector.clear()
+        self._per_round_issued.clear()
 
     def outstanding(self) -> int:
         """Tickets issued but not yet retired (messages in flight)."""
         return self.issued - self.retired
+
+    def outstanding_of(self, sender: Optional[Hashable] = None,
+                       round_stamp: Optional[int] = None) -> int:
+        """In-flight tickets of one sender (optionally one round)."""
+        total = 0
+        for (who, stamp), slot in self._vector.items():
+            if who != sender:
+                continue
+            if round_stamp is not None and stamp != round_stamp:
+                continue
+            total += slot[0] - slot[1]
+        return total
 
     def close_round(self, number: int, new_facts: int, clock: float) -> RoundRecord:
         """Record one completed round's activity and the virtual clock."""
         record = RoundRecord(
             number=number,
             issued=self._per_round_issued.get(number, 0),
-            retired=sum(self._per_round_retired.values())
-            - sum(r.retired for r in self.rounds),
+            retired=self.retired - self._retired_recorded,
             new_facts=new_facts,
             clock=clock,
         )
+        self._retired_recorded = self.retired
+        self.rounds.append(record)
+        return record
+
+    def close_quiet(self, clock: float) -> RoundRecord:
+        """Append a quiet closing record (no facts, no sends).
+
+        The async scheduler proves quiescence directly — queue drained,
+        outboxes empty, zero outstanding — rather than via barrier
+        bookkeeping; this records that state so :meth:`quiescent` holds
+        afterwards.  Depth stamps share the per-round counter space with
+        barrier round numbers, so the record is built directly instead
+        of through :meth:`close_round`'s stamp lookup.
+        """
+        record = RoundRecord(
+            number=len(self.rounds),
+            issued=0,
+            retired=self.retired - self._retired_recorded,
+            new_facts=0,
+            clock=clock,
+        )
+        self._retired_recorded = self.retired
         self.rounds.append(record)
         return record
 

@@ -1,27 +1,31 @@
-"""The sharded evaluation runtime: BSP rounds over the simulated network.
+"""The sharded evaluation runtime, scheduled by the unified ExecutionRuntime.
 
 A :class:`Cluster` is N :class:`~repro.cluster.node.ClusterNode` shards
 on a :class:`~repro.net.network.SimulatedNetwork`, evaluating one rule
-program to a *distributed* fixpoint:
+program to a *distributed* fixpoint.  Since PR 4 the round loop itself
+lives in :class:`~repro.cluster.scheduler.ExecutionRuntime` — the same
+scheduler that drives principal workspaces in
+:class:`~repro.core.system.LBTrustSystem` — in one of two modes:
 
-1. every node runs its local semi-naive fixpoint over its EDB shard;
-   derived facts owned elsewhere are diverted to outboxes by the
-   engine's delta-exchange hook;
-2. outboxes flush through a :class:`~repro.net.batch.MessageBatcher` —
-   one size-capped batch message per node pair per round, each issuing
-   a round-stamped ticket in the quiescence ledger;
-3. delivered batches retire their tickets and integrate at the owner,
-   seeding its next semi-naive pass;
-4. rounds repeat until the :class:`~repro.cluster.quiescence.TicketLedger`
-   proves quiescence: no tickets outstanding and a closed round with no
-   new facts and no sends.
+* ``bsp`` — bulk-synchronous: every node runs its local fixpoint, all
+  outboxes flush at a barrier through one
+  :class:`~repro.net.batch.MessageBatcher`, all batches deliver, repeat;
+* ``async`` — overlapped: batches deliver in virtual-clock order and
+  each node re-enters semi-naive the moment a delta arrives, shipping
+  its consequences immediately — no barrier.
+
+Either way the :class:`~repro.cluster.quiescence.TicketLedger`'s
+per-sender round vectors prove quiescence exactly: no tickets
+outstanding, no node holding unflushed work.
 
 The union of all shards equals the single-node fixpoint whenever the
-placement is *join-compatible* — every rule's joins line up on its body
-predicates' partition columns (the programmer's responsibility, exactly
-as ``predNode`` placement is in the paper).  Negation/aggregation over
-exchanged predicates is rejected: a shard cannot prove a fact absent
-while a delta for it may still be in flight.
+placement is *join-compatible* — and since PR 4 that is no longer the
+programmer's unchecked responsibility: ``load()`` runs the static
+:func:`~repro.cluster.placement_check.check_join_compatibility` analysis
+and rejects (or, under ``on_incompatible="replicate"``, repairs by
+replication) any rule whose body joins cannot be co-located.
+Negation/aggregation over exchanged predicates is still rejected: a
+shard cannot prove a fact absent while a delta for it may be in flight.
 """
 
 from __future__ import annotations
@@ -31,19 +35,20 @@ from typing import Iterable, Optional, Union
 
 from ..datalog.builtins import BuiltinRegistry
 from ..datalog.engine import EngineRule, EvalStats, normalize_rules
-from ..datalog.errors import ClusterError, NetworkError
+from ..datalog.errors import ClusterError
 from ..datalog.parser import parse_statements
 from ..datalog.runtime import check_rule_safety
 from ..datalog.stratify import stratify
 from ..datalog.terms import Rule
 from ..meta.quote import compile_rule
 from ..meta.registry import RuleRegistry
-from ..net.batch import DEFAULT_MAX_BATCH_BYTES, MessageBatcher
+from ..net.batch import DEFAULT_MAX_BATCH_BYTES
 from ..net.network import SimulatedNetwork
-from ..net.transport import decode_batch_message
 from .node import ClusterNode
 from .partition import Partitioner
+from .placement_check import check_join_compatibility
 from .quiescence import TicketLedger
+from .scheduler import MODE_BSP, ExecutionRuntime
 
 
 @dataclass
@@ -70,10 +75,18 @@ class NodeReport:
 
 @dataclass
 class ClusterReport:
-    """Outcome of one :meth:`Cluster.run` call."""
+    """Outcome of one :meth:`Cluster.run` call.
+
+    ``rounds`` counts barrier rounds in ``bsp`` mode; in ``async`` mode
+    it equals ``depth``, the causal depth of the exchange (length of the
+    longest send→integrate→send chain), which is the comparable
+    quantity — BSP's round count *is* its causal depth.
+    """
 
     nodes: int = 0
+    mode: str = MODE_BSP
     rounds: int = 0
+    depth: int = 0
     messages: int = 0
     batched_facts: int = 0
     bytes: int = 0
@@ -88,7 +101,9 @@ class ClusterReport:
     def as_dict(self) -> dict:
         return {
             "nodes": self.nodes,
+            "mode": self.mode,
             "rounds": self.rounds,
+            "depth": self.depth,
             "messages": self.messages,
             "batched_facts": self.batched_facts,
             "bytes": self.bytes,
@@ -99,20 +114,22 @@ class ClusterReport:
         }
 
     def __repr__(self) -> str:
-        return (f"ClusterReport(nodes={self.nodes}, rounds={self.rounds}, "
-                f"messages={self.messages}, bytes={self.bytes}, "
-                f"virtual_time={self.virtual_time:.2f})")
+        return (f"ClusterReport(nodes={self.nodes}, mode={self.mode!r}, "
+                f"rounds={self.rounds}, messages={self.messages}, "
+                f"bytes={self.bytes}, virtual_time={self.virtual_time:.2f})")
 
 
 class Cluster:
-    """N shards + partitioner + network + the distributed fixpoint loop."""
+    """N shards + partitioner + network + the scheduled fixpoint loop."""
 
     def __init__(self, nodes: Union[int, Iterable[str]],
                  network: Optional[SimulatedNetwork] = None,
                  partitioner: Optional[Partitioner] = None,
                  builtins: Optional[BuiltinRegistry] = None,
                  registry: Optional[RuleRegistry] = None,
-                 max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES) -> None:
+                 max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES,
+                 mode: str = MODE_BSP,
+                 on_incompatible: str = "reject") -> None:
         if isinstance(nodes, int):
             if nodes < 1:
                 raise ClusterError("a cluster needs at least one node")
@@ -132,22 +149,38 @@ class Cluster:
             for name in names
         }
         self.ledger = TicketLedger()
-        self.batcher = MessageBatcher(self.network, self.registry,
-                                      max_bytes=max_batch_bytes,
-                                      ledger=self.ledger)
+        self.on_incompatible = on_incompatible
+        #: predicates the join-compatibility checker flipped to
+        #: replicated placement (``on_incompatible="replicate"`` only)
+        self.auto_replicated: list[str] = []
+        self.runtime = ExecutionRuntime(
+            self.nodes, self.network, self.registry, mode=mode,
+            max_batch_bytes=max_batch_bytes, ledger=self.ledger, strict=True)
+        self.batcher = self.runtime.batcher
         self._rules: list[EngineRule] = []
+
+    @property
+    def mode(self) -> str:
+        return self.runtime.mode
 
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
 
     def load(self, source: Union[str, Iterable[Rule]]) -> None:
-        """Install a program on every node (facts route by placement)."""
+        """Install a program on every node (facts route by placement).
+
+        Loading statically checks the program against the placement:
+        join-incompatible rules are rejected (or repaired by replication
+        under ``on_incompatible="replicate"``), and nonmonotone strata
+        over exchanged predicates are refused.
+        """
         if isinstance(source, str):
             statements = parse_statements(source)
         else:
             statements = list(source)
         rules: list[Rule] = []
+        facts: list[tuple[str, tuple]] = []
         for statement in statements:
             if not isinstance(statement, Rule):
                 raise ClusterError(
@@ -163,10 +196,14 @@ class Cluster:
                     if len(values) != len(head.all_args):
                         raise ClusterError(
                             f"non-ground fact {head!r} in cluster program")
-                    self.assert_fact(head.pred, values)
+                    # routed only after the static checks pass, so a
+                    # rejected load seeds nothing
+                    facts.append((head.pred, values))
             else:
                 rules.append(statement)
         if not rules:
+            for pred, values in facts:
+                self.assert_fact(pred, values)
             return
         sample_builtins = next(iter(self.nodes.values())).context.builtins
         engine_rules: list[EngineRule] = []
@@ -178,7 +215,24 @@ class Cluster:
                 if engine_rule.label is None:
                     engine_rule.label = f"r{len(self._rules) + len(engine_rules)}"
                 engine_rules.append(engine_rule)
-        self._check_distributable(engine_rules)
+        # The two static checks must commit atomically: auto-replication
+        # mutates the partitioner, so if the distributability check then
+        # rejects the program the placement is rolled back and no facts
+        # are rebroadcast — a failed load leaves the cluster untouched.
+        placement_before = self.partitioner.placement_snapshot()
+        flipped = check_join_compatibility(
+            self._rules + engine_rules, self.partitioner,
+            on_incompatible=self.on_incompatible)
+        try:
+            self._check_distributable(engine_rules)
+        except ClusterError:
+            self.partitioner.restore_placement(placement_before)
+            raise
+        if flipped:
+            self.auto_replicated.extend(flipped)
+            self._rebroadcast(flipped)
+        for pred, values in facts:
+            self.assert_fact(pred, values)
         self._rules.extend(engine_rules)
         for node in self.nodes.values():
             # Each node gets its own EngineRule instances: plan caches are
@@ -187,6 +241,25 @@ class Cluster:
                 EngineRule(r.head, r.body, r.agg, r.label, r.source)
                 for r in engine_rules
             ])
+
+    def _rebroadcast(self, preds: Iterable[str]) -> None:
+        """Re-seed already-routed facts of newly replicated predicates.
+
+        Auto-replication may flip a predicate *after* some of its facts
+        were hash-routed to a single owner — asserted EDB *and*, when a
+        ``run()`` already happened, facts the owner derived; replication
+        semantics require every node to hold all of them, so the union
+        of every shard's full relation is broadcast.  (Seeding records
+        them as received base facts on the replicas, which is exactly
+        how a remotely derived delta lands during a run.)
+        """
+        for pred in preds:
+            everywhere: set = set()
+            for node in self.nodes.values():
+                everywhere |= node.db.tuples(pred)
+            for node in self.nodes.values():
+                for fact in everywhere:
+                    node.seed(pred, fact)
 
     def _check_distributable(self, new_rules: list[EngineRule]) -> None:
         """Reject nonmonotonicity over exchanged predicates (N > 1).
@@ -248,78 +321,39 @@ class Cluster:
     # ------------------------------------------------------------------
 
     def run(self, max_rounds: int = 500) -> ClusterReport:
-        """Exchange batched deltas until the ticket ledger proves
-        quiescence; returns the run's :class:`ClusterReport`."""
+        """Drive the scheduler until the ticket ledger proves quiescence;
+        returns the run's :class:`ClusterReport`."""
         stats_before = {name: node.stats.copy()
                         for name, node in self.nodes.items()}
-        messages_before = self.network.total.messages
-        bytes_before = self.network.total.bytes
-        items_before = self.batcher.sent_items
-        rounds_before = len(self.ledger.rounds)
-        round_number = rounds_before
+        traffic_before = {name: (node.sent_facts, node.received_facts)
+                          for name, node in self.nodes.items()}
+        outcome = self.runtime.run(max_rounds)
 
-        new_facts = 0
-        for name in sorted(self.nodes):
-            new_facts += self.nodes[name].run_initial()
-        self._flush_round(round_number)
-        self.ledger.close_round(round_number, new_facts, self.network.clock)
-
-        rounds_run = 0
-        while not self.ledger.quiescent():
-            rounds_run += 1
-            if rounds_run > max_rounds:
-                raise ClusterError(
-                    f"cluster did not quiesce within {max_rounds} rounds")
-            round_number += 1
-            incoming = self._receive_round()
-            new_facts = 0
-            for name in sorted(incoming):
-                new_facts += self.nodes[name].integrate(incoming[name])
-            self._flush_round(round_number)
-            self.ledger.close_round(round_number, new_facts,
-                                    self.network.clock)
-
-        report = ClusterReport(nodes=len(self.nodes))
-        report.rounds = len(self.ledger.rounds) - rounds_before
-        report.messages = self.network.total.messages - messages_before
-        report.bytes = self.network.total.bytes - bytes_before
-        report.batched_facts = self.batcher.sent_items - items_before
-        report.virtual_time = self.network.clock
-        report.convergence_time = self.ledger.convergence_clock()
+        report = ClusterReport(nodes=len(self.nodes), mode=self.mode)
+        report.rounds = outcome.rounds
+        report.depth = outcome.depth
+        report.messages = outcome.messages
+        report.bytes = outcome.bytes
+        report.batched_facts = outcome.batched_facts
+        report.virtual_time = outcome.virtual_time
+        report.convergence_time = outcome.convergence_time
         for name in sorted(self.nodes):
             node = self.nodes[name]
             delta = node.stats.diff(stats_before[name])
+            sent_before, received_before = traffic_before[name]
             report.new_facts += delta.new_facts
+            # traffic fields are per-run deltas, like derivations /
+            # new_facts — node.sent_facts/received_facts themselves stay
+            # lifetime-cumulative
             report.per_node.append(NodeReport(
                 name=name,
                 derivations=delta.derivations,
                 new_facts=delta.new_facts,
-                sent_facts=node.sent_facts,
-                received_facts=node.received_facts,
+                sent_facts=node.sent_facts - sent_before,
+                received_facts=node.received_facts - received_before,
                 db_facts=node.db.total_facts(),
             ))
         return report
-
-    def _flush_round(self, round_number: int) -> int:
-        for name in sorted(self.nodes):
-            node = self.nodes[name]
-            node.drain_outbox(
-                lambda dst, pred, fact, _src=name: self.batcher.add(
-                    _src, dst, pred, fact, round_stamp=round_number))
-        return self.batcher.flush(round_number)
-
-    def _receive_round(self) -> dict[str, dict[str, set]]:
-        incoming: dict[str, dict[str, set]] = {}
-        for _src, dst, blob in self.network.deliver_all():
-            try:
-                round_stamp, items = decode_batch_message(blob, self.registry)
-            except NetworkError as exc:
-                raise ClusterError(f"undecodable delta batch: {exc}") from exc
-            self.ledger.retire(round_stamp)
-            per_node = incoming.setdefault(dst, {})
-            for _to, pred, fact in items:
-                per_node.setdefault(pred, set()).add(fact)
-        return incoming
 
     # ------------------------------------------------------------------
     # Results
@@ -345,4 +379,4 @@ class Cluster:
         return merged
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Cluster({sorted(self.nodes)})"
+        return f"Cluster({sorted(self.nodes)}, mode={self.mode!r})"

@@ -1,0 +1,385 @@
+"""The unified execution runtime: one scheduler for every node kind.
+
+Before this module existed the repo had two parallel drivers: the
+:class:`~repro.cluster.runtime.Cluster` ran plain-Datalog shards in BSP
+lockstep while :meth:`LBTrustSystem.run` drove principal workspaces over
+the network layer with its own ad-hoc round loop.  The
+:class:`ExecutionRuntime` collapses both into one event loop over a
+*node protocol*, so a network node may host a Datalog shard
+(:class:`~repro.cluster.node.ClusterNode`) or a set of full principal
+workspaces (:class:`~repro.core.system.WorkspaceNode`) and the paper's
+``predNode`` reconfiguration story — move the computation, keep the
+program — holds across both.
+
+**The node protocol** (duck-typed):
+
+``name``
+    the node's network identity;
+``bootstrap() -> int``
+    run whatever local work is possible before any exchange (a shard's
+    initial fixpoint; a no-op for workspaces, which fixpoint eagerly at
+    assert time); returns the number of new local facts;
+``integrate(items) -> int``
+    absorb one delivery's ``[(to, pred, fact), ...]`` payload, re-enter
+    local evaluation, and return the number of facts accepted for
+    processing;
+``drain_outbox(sink) -> int``
+    hand every pending outbound fact to ``sink(dst, pred, fact, to="")``
+    and clear the outbox;
+``quiesce()``
+    (optional) called once when the runtime proves global quiescence —
+    the hook where bounded-memory maintenance (e.g. generation-tagged
+    dedup clears) is safe;
+``integration_is_local``
+    (optional, default False) set True when ``integrate`` can only ever
+    create work in this node's own outbox (Datalog shards); the async
+    scheduler then skips offering every other node a drain after a
+    delivery here.  Workspace hosts leave it False: an import lands at
+    whichever node hosts the destination principal.
+
+**Scheduling modes**:
+
+* ``bsp`` — bulk-synchronous rounds: every node integrates, then all
+  outboxes flush at a barrier, then all messages deliver.  Rounds are
+  numbered globally; the :class:`~repro.cluster.quiescence.TicketLedger`
+  closes one record per barrier.
+* ``async`` — overlapped rounds: messages deliver one at a time in
+  virtual-clock order and the receiving node re-enters semi-naive
+  *immediately*, flushing its consequent deltas without waiting for any
+  barrier.  Batches carry a **causal depth** stamp (1 + the deepest
+  stamp the sender had integrated), so the ledger's per-sender round
+  vectors stay exact under out-of-order delivery and the run can report
+  how long its longest message chain was — the async analog of BSP's
+  round count.
+
+Both modes terminate with the same guarantee: zero tickets outstanding
+and no node holding unflushed work, i.e. the distributed fixpoint is
+complete.  Union-of-node state equals the single-node fixpoint whenever
+the placement is join-compatible — which
+:func:`~repro.cluster.placement_check.check_join_compatibility` now
+verifies statically at ``load()`` instead of trusting the programmer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..datalog.errors import ClusterError, NetworkError
+from ..net.batch import DEFAULT_MAX_BATCH_BYTES, MessageBatcher
+from ..net.transport import decode_batch_message
+from .quiescence import TicketLedger
+
+MODE_BSP = "bsp"
+MODE_ASYNC = "async"
+
+#: Valid scheduler modes, in documentation order.
+SCHEDULER_MODES = (MODE_BSP, MODE_ASYNC)
+
+
+@dataclass
+class RuntimeReport:
+    """Outcome of one :meth:`ExecutionRuntime.run` call.
+
+    ``depth`` is the causal depth of the exchange — the length of the
+    longest send→integrate→send chain.  ``rounds`` counts barrier
+    rounds (closing confirm round included) in ``bsp`` mode and equals
+    ``depth`` in ``async`` mode, since causal depth *is* the comparable
+    round quantity under overlap (BSP's productive round count is its
+    causal depth).  ``productive_rounds`` counts barrier rounds in which
+    something was delivered (the LBTrust system's historical
+    ``RunReport.rounds`` semantics) in ``bsp`` mode, and delivery events
+    (also exposed as ``events``) in ``async`` mode.
+    """
+
+    mode: str = MODE_BSP
+    rounds: int = 0
+    productive_rounds: int = 0
+    depth: int = 0
+    events: int = 0
+    messages: int = 0
+    batched_facts: int = 0
+    bytes: int = 0
+    new_facts: int = 0
+    delivered_facts: int = 0
+    virtual_time: float = 0.0
+    convergence_time: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "rounds": self.rounds,
+            "productive_rounds": self.productive_rounds,
+            "depth": self.depth,
+            "events": self.events,
+            "messages": self.messages,
+            "batched_facts": self.batched_facts,
+            "bytes": self.bytes,
+            "new_facts": self.new_facts,
+            "delivered_facts": self.delivered_facts,
+            "virtual_time": self.virtual_time,
+            "convergence_time": self.convergence_time,
+        }
+
+
+class ExecutionRuntime:
+    """Drives a set of protocol nodes to a distributed fixpoint.
+
+    ``strict`` selects the transport contract: a closed transport (the
+    cluster owns its network exclusively) treats undecodable blobs,
+    unticketed traffic, unknown destinations and an exhausted
+    ``max_rounds`` as fatal; an open one (the LBTrust system's network,
+    where tests and adversaries inject raw messages) reports rejects
+    through ``on_reject(source, reason)`` and returns a best-effort
+    report when the round cap is hit.
+    """
+
+    def __init__(self, nodes: dict, network, registry,
+                 mode: str = MODE_BSP,
+                 max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES,
+                 ledger: Optional[TicketLedger] = None,
+                 strict: bool = True,
+                 on_reject: Optional[Callable[[str, str], None]] = None) -> None:
+        if mode not in SCHEDULER_MODES:
+            raise ClusterError(
+                f"unknown scheduler mode {mode!r}; pick one of "
+                f"{'/'.join(SCHEDULER_MODES)}")
+        self.nodes = dict(nodes)
+        self.network = network
+        self.registry = registry
+        self.mode = mode
+        self.ledger = ledger if ledger is not None else TicketLedger()
+        self.batcher = MessageBatcher(network, registry,
+                                      max_bytes=max_batch_bytes,
+                                      ledger=self.ledger)
+        self.strict = strict
+        self.on_reject = on_reject
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self, max_rounds: int = 500) -> RuntimeReport:
+        report = RuntimeReport(mode=self.mode)
+        messages_before = self.batcher.sent_messages
+        items_before = self.batcher.sent_items
+        bytes_before = self.network.total.bytes
+        if self.mode == MODE_ASYNC:
+            self._run_async(report, max_rounds)
+        else:
+            self._run_bsp(report, max_rounds)
+        for name in sorted(self.nodes):
+            quiesce = getattr(self.nodes[name], "quiesce", None)
+            if quiesce is not None:
+                quiesce()
+        # Quiescence is also the safe point to compact the ledger's
+        # per-slot bookkeeping (kept: the rounds trail and totals).
+        self.ledger.compact()
+        report.messages = self.batcher.sent_messages - messages_before
+        report.batched_facts = self.batcher.sent_items - items_before
+        report.bytes = self.network.total.bytes - bytes_before
+        report.virtual_time = self.network.clock
+        return report
+
+    # ------------------------------------------------------------------
+    # BSP: barrier rounds
+    # ------------------------------------------------------------------
+
+    def _run_bsp(self, report: RuntimeReport, max_rounds: int) -> None:
+        ledger = self.ledger
+        rounds_before = len(ledger.rounds)
+        round_number = rounds_before
+
+        new_facts = 0
+        for name in sorted(self.nodes):
+            new_facts += self.nodes[name].bootstrap()
+        report.new_facts += new_facts
+        if self._flush_all(round_number):
+            report.depth += 1
+        ledger.close_round(round_number, new_facts, self.network.clock)
+
+        rounds_run = 0
+        # Unticketed traffic (an open network's foreign messages, queued
+        # before the run) never shows in the ledger; the queue must also
+        # be empty before quiescence is real.
+        while not ledger.quiescent() or self.network.pending():
+            rounds_run += 1
+            if rounds_run > max_rounds:
+                if not self.strict:
+                    # Open transports keep the historical best-effort
+                    # contract: stop at the cap and report what landed.
+                    break
+                raise ClusterError(
+                    f"runtime did not quiesce within {max_rounds} rounds")
+            round_number += 1
+            incoming = self._receive_all()
+            new_facts = 0
+            delivered = 0
+            for name in sorted(incoming):
+                node = self.nodes.get(name)
+                if node is None:
+                    if self.strict:
+                        raise ClusterError(f"delivery to unknown node {name!r}")
+                    self._reject(name, "unknown node")
+                    continue
+                items = incoming[name]
+                delivered += len(items)
+                new_facts += node.integrate(items)
+            report.new_facts += new_facts
+            report.delivered_facts += delivered
+            if incoming:
+                report.productive_rounds += 1
+            if self._flush_all(round_number):
+                report.depth += 1
+            ledger.close_round(round_number, new_facts, self.network.clock)
+        report.rounds = len(ledger.rounds) - rounds_before
+        report.convergence_time = ledger.convergence_clock()
+
+    def _flush_all(self, round_stamp: int) -> int:
+        """Drain every node's outbox and flush one barrier's batches."""
+        before = self.batcher.sent_messages
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            node.drain_outbox(
+                lambda dst, pred, fact, to="", _src=name: self.batcher.add(
+                    _src, dst, pred, fact, to=to, round_stamp=round_stamp))
+        self.batcher.flush(round_stamp)
+        return self.batcher.sent_messages - before
+
+    def _receive_all(self) -> dict:
+        """Deliver the whole queue; group decoded items per destination."""
+        incoming: dict[str, list] = {}
+        for src, dst, blob in self.network.deliver_all():
+            for _stamp, item in self._decode(src, dst, blob):
+                incoming.setdefault(dst, []).append(item)
+        return incoming
+
+    # ------------------------------------------------------------------
+    # Async: overlapped rounds
+    # ------------------------------------------------------------------
+
+    def _run_async(self, report: RuntimeReport, max_rounds: int) -> None:
+        network = self.network
+        ledger = self.ledger
+        #: causal depth stamp each node's next outgoing batch will carry
+        next_stamp = {name: 1 for name in self.nodes}
+        productive_clock = 0.0
+
+        new_facts = 0
+        for name in sorted(self.nodes):
+            new_facts += self.nodes[name].bootstrap()
+        report.new_facts += new_facts
+        if new_facts:
+            productive_clock = network.clock
+        for name in sorted(self.nodes):
+            report.depth = max(report.depth, self._drain_one(name, 1))
+
+        max_events = max_rounds * max(1, len(self.nodes))
+        while True:
+            delivered = network.deliver_next()
+            if delivered is None:
+                break
+            report.events += 1
+            if report.events > max_events:
+                if not self.strict:
+                    break
+                raise ClusterError(
+                    f"async runtime did not quiesce within "
+                    f"{max_events} delivery events")
+            src, dst, blob = delivered
+            items = self._decode(src, dst, blob)
+            if not items:
+                continue
+            report.delivered_facts += len(items)
+            stamp = items[0][0]
+            payload = [item[1] for item in items]
+            node = self.nodes.get(dst)
+            if node is None:
+                if self.strict:
+                    raise ClusterError(f"delivery to unknown node {dst!r}")
+                self._reject(dst, "unknown node")
+                continue
+            # The heart of overlap: integrate *now*, re-entering the
+            # node's semi-naive propagation, and ship its consequent
+            # deltas immediately — no barrier, no waiting on peers.
+            new_facts = node.integrate(payload)
+            report.new_facts += new_facts
+            if new_facts:
+                productive_clock = network.clock
+            next_stamp[dst] = max(next_stamp[dst], stamp + 1)
+            # An integration may create work at nodes *other than* the
+            # delivery target: a workspace import lands at the
+            # destination principal's host, wherever the message was
+            # routed (relay-style predNode placements).  Nodes whose
+            # integration is strictly local (Datalog shards fill only
+            # their own outbox) advertise it and skip the sweep.
+            if getattr(node, "integration_is_local", False):
+                targets = (dst,)
+            else:
+                targets = sorted(self.nodes)
+            for name in targets:
+                candidate = max(next_stamp[name], stamp + 1)
+                flushed = self._drain_one(name, candidate)
+                if flushed:
+                    next_stamp[name] = candidate
+                    productive_clock = network.clock
+                    report.depth = max(report.depth, flushed)
+
+        if self.strict and ledger.outstanding():
+            raise ClusterError(
+                f"async runtime stopped with {ledger.outstanding()} "
+                f"ticket(s) outstanding")
+        # One closing record so ledger.quiescent() holds after the run.
+        ledger.close_quiet(network.clock)
+        report.rounds = report.depth
+        report.productive_rounds = report.events
+        report.convergence_time = productive_clock
+
+    def _drain_one(self, name: str, stamp: int) -> int:
+        """Flush one node's outbox under ``stamp``; returns the stamp if
+        anything was sent, else 0."""
+        node = self.nodes[name]
+        drained = node.drain_outbox(
+            lambda dst, pred, fact, to="", _src=name: self.batcher.add(
+                _src, dst, pred, fact, to=to, round_stamp=stamp))
+        if not drained:
+            return 0
+        self.batcher.flush(stamp)
+        return stamp
+
+    # ------------------------------------------------------------------
+    # Shared receive path
+    # ------------------------------------------------------------------
+
+    def _decode(self, src: str, dst: str, blob: bytes):
+        """Decode one wire blob; retire its ticket; return stamped items.
+
+        Returns ``[(stamp, (to, pred, fact)), ...]`` — empty on a
+        tolerated decode failure.
+        """
+        try:
+            round_stamp, items = decode_batch_message(blob, self.registry)
+        except NetworkError as exc:
+            if self.strict:
+                raise ClusterError(f"undecodable delta batch: {exc}") from exc
+            self._reject("<decode>", str(exc))
+            # an undecodable blob may still be a ticketed batch whose
+            # payload (round stamp included) was corrupted in transit —
+            # the arrival itself proves a ticket of this sender landed,
+            # so retire the sender's oldest outstanding slot rather than
+            # wedging quiescence on an unreadable stamp.
+            self.ledger.retire_any(sender=src)
+            return []
+        if self.strict:
+            self.ledger.retire(round_stamp, sender=src)
+        else:
+            self.ledger.retire_guarded(round_stamp, sender=src)
+        return [(round_stamp, item) for item in items]
+
+    def _reject(self, source: str, reason: str) -> None:
+        if self.on_reject is not None:
+            self.on_reject(source, reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ExecutionRuntime(mode={self.mode!r}, "
+                f"nodes={sorted(self.nodes)})")

@@ -6,15 +6,22 @@ fixpoint loop:
 
 1. each principal's workspace runs its local fixpoint (this happens
    eagerly inside its transactions);
-2. the system collects facts of partitioned predicates whose ``predNode``
-   placement maps them to another principal's partition (paper section
-   3.5 — the ld1/ld2 placement rules are installed verbatim);
+2. each physical node's :class:`WorkspaceNode` collects facts of
+   partitioned predicates whose ``predNode`` placement maps them to
+   another principal's partition (paper section 3.5 — the ld1/ld2
+   placement rules are installed verbatim);
 3. messages are serialized, sent through the network (FIFO + latency),
    and imported at the destination in a transaction — where the scheme's
    verification constraint (exp3) and any authorization meta-constraints
    either accept them (activating said rules, via says1) or reject the
    import, which is rolled back and audited;
-4. repeat until no messages flow.
+4. repeat until the ticket ledger proves quiescence.
+
+Since PR 4 steps 2–4 are the cluster's
+:class:`~repro.cluster.scheduler.ExecutionRuntime` — the same scheduler
+that drives Datalog shards — in ``bsp`` (barrier rounds, the default) or
+``async`` (overlapped: each arrival imports and re-exports immediately)
+mode.
 
 Usage::
 
@@ -29,19 +36,18 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from ..cluster.partition import PlacementMap
-from ..cluster.quiescence import TicketLedger
+from ..cluster.scheduler import MODE_BSP, ExecutionRuntime
 from ..crypto.datalog_builtins import register_crypto_builtins
 from ..datalog.builtins import BuiltinRegistry, standard_registry
-from ..datalog.errors import ConstraintViolation, NetworkError, WorkspaceError
+from ..datalog.errors import ConstraintViolation, WorkspaceError
 from ..datalog.parser import parse_statements
 from ..datalog.terms import Constraint, Rule
 from ..meta.registry import RuleRegistry
-from ..net.batch import DEFAULT_MAX_BATCH_BYTES, MessageBatcher
+from ..net.batch import DEFAULT_MAX_BATCH_BYTES
 from ..net.network import SimulatedNetwork
-from ..net.transport import decode_batch_message
 from .authorization import install_says_authorization
 from .delegation import install_delegation, install_depth_restriction
 from .principal import Principal
@@ -69,6 +75,7 @@ class RunReport:
     rejected: int = 0
     batches: int = 0
     bytes: int = 0
+    depth: int = 0
     virtual_time: float = 0.0
     rejected_detail: list = field(default_factory=list)
 
@@ -77,6 +84,138 @@ class RunReport:
                 f"rejected={self.rejected}, batches={self.batches}, "
                 f"bytes={self.bytes}, "
                 f"virtual_time={self.virtual_time:.2f})")
+
+
+class WorkspaceNode:
+    """Every principal co-located on one physical network node, presented
+    to the :class:`~repro.cluster.scheduler.ExecutionRuntime` as a single
+    protocol node.
+
+    This is the second node kind of the unified runtime (the first being
+    the plain-Datalog :class:`~repro.cluster.node.ClusterNode`): the
+    outbox is computed from each hosted workspace's ``predNode``
+    placement table (paper section 3.5 — the ``loc`` table, not the
+    scheduler, decides where facts go), and integration runs the full
+    import pipeline — scheme verification constraints, authorization
+    meta-constraints, audited rollback — inside each principal's
+    transaction.  ``says``-attribution therefore survives the exchange
+    path unchanged: what travels are the same ``export`` facts, whatever
+    the scheduling mode.
+    """
+
+    def __init__(self, system: "LBTrustSystem", name: str,
+                 principals: Iterable[Principal],
+                 report: "RunReport") -> None:
+        self.system = system
+        self.name = name
+        self.principals = list(principals)
+        self.report = report
+        #: principal -> (predNode Relation, version, PlacementMap):
+        #: the placement table rarely changes mid-run, so it is rebuilt
+        #: only when its backing relation object or version moves.
+        self._placements: dict = {}
+        #: principal -> {pred: (Relation, version)} — relations whose
+        #: facts were already fully offered to the outbox at that exact
+        #: state; unchanged relations are skipped on the next drain.
+        #: Holding the Relation object keeps its id from being reused,
+        #: so object-identity + version is a sound change signature.
+        self._scanned: dict = {}
+
+    def bootstrap(self) -> int:
+        """Workspaces fixpoint eagerly inside their transactions; nothing
+        to do before the first exchange."""
+        return 0
+
+    def _placement_of(self, principal: Principal):
+        """The principal's placement map, rebuilt only on predNode change."""
+        workspace = principal.workspace
+        relation = workspace.db.get("predNode")
+        version = relation._version if relation is not None else None
+        cached = self._placements.get(principal.name)
+        if cached is not None and cached[0] is relation \
+                and cached[1] == version:
+            return cached[2]
+        placement = PlacementMap.from_prednode_facts(
+            workspace.tuples("predNode"))
+        self._placements[principal.name] = (relation, version, placement)
+        # new placement may make previously scanned facts exportable
+        self._scanned.pop(principal.name, None)
+        return placement
+
+    def drain_outbox(self, sink) -> int:
+        """Queue every unexported fact owned elsewhere per ``predNode``.
+
+        ``sink(dst, pred, fact, to)`` — ``dst`` is the destination
+        *node*, ``to`` the destination *principal* (several principals
+        may share one node).  The system-wide ``_sent`` marker set keeps
+        re-derived exports from re-shipping every round; unlike a
+        shard's dedup set it must survive quiescence, because workspaces
+        retain their full state between runs and would otherwise re-send
+        (and re-count) every historical export on the next run.
+
+        The async scheduler drains after *every* delivery event, so the
+        scan is incremental: a keyed relation whose object identity and
+        version are unchanged since the last drain has already offered
+        every fact and is skipped.
+        """
+        drained = 0
+        system = self.system
+        for principal in self.principals:
+            workspace = principal.workspace
+            placement = self._placement_of(principal)
+            if not len(placement):
+                continue
+            scanned = self._scanned.setdefault(principal.name, {})
+            for pred in list(workspace.db.relations):
+                info = workspace.catalog.get(pred)
+                if info is None or info.key_arity == 0:
+                    continue
+                relation = workspace.db.get(pred)
+                signature = (relation, relation._version) \
+                    if relation is not None else None
+                if scanned.get(pred) == signature:
+                    continue
+                scanned[pred] = signature
+                for fact in workspace.db.tuples(pred):
+                    key = fact[:info.key_arity]
+                    node = placement.owner(pred, key)
+                    if node is None:
+                        continue
+                    target = key[0]
+                    if not isinstance(target, str) or target == principal.name:
+                        continue
+                    if target not in system.principals:
+                        continue
+                    marker = (principal.name, pred, fact)
+                    if marker in system._sent:
+                        continue
+                    system._sent.add(marker)
+                    sink(node, pred, fact, target)
+                    drained += 1
+        return drained
+
+    def integrate(self, items: list) -> int:
+        """Import one delivery's facts at their destination principals.
+
+        Returns the number of facts handed to import transactions (the
+        quiescence protocol's activity measure); acceptance/rejection
+        accounting lands on the shared :class:`RunReport`.
+        """
+        grouped: dict[str, list] = {}
+        for to, pred, fact in items:
+            grouped.setdefault(to, []).append((pred, fact))
+        for to, batch in grouped.items():
+            principal = self.system.principals.get(to)
+            if principal is None:
+                self.report.rejected += len(batch)
+                self.report.rejected_detail.append((to, "unknown principal"))
+                continue
+            self.system._import_batch(principal, batch, self.report)
+        return len(items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WorkspaceNode({self.name!r}, "
+                f"{[p.name for p in self.principals]})")
 
 
 class LBTrustSystem:
@@ -88,7 +227,8 @@ class LBTrustSystem:
                  enable_provenance: bool = False,
                  authorization: bool = False,
                  delegation: bool = False,
-                 max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES) -> None:
+                 max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES,
+                 mode: str = MODE_BSP) -> None:
         self.registry = RuleRegistry()
         self.network = network if network is not None else SimulatedNetwork()
         self.max_batch_bytes = max_batch_bytes
@@ -101,6 +241,7 @@ class LBTrustSystem:
         self.authorization = authorization
         self.delegation = delegation
         self.auth_name = auth
+        self.mode = mode
         self._scheme: SchemeDef = scheme(auth)
         self._sent: set = set()
 
@@ -207,115 +348,55 @@ class LBTrustSystem:
     # The global fixpoint
     # ------------------------------------------------------------------
 
-    def run(self, max_rounds: int = 100) -> RunReport:
+    def run(self, max_rounds: int = 100,
+            mode: Optional[str] = None) -> RunReport:
         """Exchange batched messages until the whole system quiesces.
 
-        Since PR 3 this loop runs on the cluster machinery: placement is
-        a :class:`~repro.cluster.partition.PlacementMap` built from each
-        workspace's ``predNode`` table, per-round traffic coalesces into
-        one size-capped batch per node pair
-        (:class:`~repro.net.batch.MessageBatcher`), and a round-stamped
-        :class:`~repro.cluster.quiescence.TicketLedger` confirms that
-        quiescence was declared with no batch still in flight.
+        Since PR 4 the loop *is* the cluster scheduler: principals are
+        grouped by physical node into :class:`WorkspaceNode` hosts and an
+        :class:`~repro.cluster.scheduler.ExecutionRuntime` drives them —
+        barrier rounds under ``bsp`` (the default), immediate per-arrival
+        import and re-export under ``async``.  Placement is still each
+        workspace's ``predNode`` table, traffic still coalesces per node
+        pair (:class:`~repro.net.batch.MessageBatcher`), and the
+        :class:`~repro.cluster.quiescence.TicketLedger`'s per-sender
+        round vectors confirm nothing was in flight at quiescence.  The
+        network stays *open*: foreign or corrupted traffic is rejected
+        and audited, never fatal.
+
+        ``report.rounds`` counts rounds in which messages were delivered
+        (``bsp``) or delivery events (``async``); ``report.depth`` is the
+        causal depth of the exchange in either mode.
         """
         report = RunReport()
-        bytes_before = self.network.total.bytes
-        ledger = TicketLedger()
-        for round_number in range(max_rounds):
-            batcher = MessageBatcher(self.network, self.registry,
-                                     max_bytes=self.max_batch_bytes,
-                                     ledger=ledger)
-            sent_any = self._collect_and_send(batcher, round_number)
-            batcher.flush(round_number)
-            # sent_messages includes early size-capped flushes inside
-            # add(), which flush()'s return value does not cover.
-            report.batches += batcher.sent_messages
-            deliveries = self.network.deliver_all()
-            if not deliveries and not sent_any:
-                break
-            report.rounds += 1
-            delivered = self._import_deliveries(deliveries, report, ledger)
-            ledger.close_round(round_number, delivered, self.network.clock)
-        report.bytes = self.network.total.bytes - bytes_before
-        report.virtual_time = self.network.clock
-        return report
-
-    def _collect_and_send(self, batcher: MessageBatcher,
-                          round_number: int) -> bool:
-        sent_any = False
+        # Every network node gets a host — including nodes no principal
+        # lives on: a predNode placement may route a message *through*
+        # such a node, and import still finds the destination principal
+        # by the message's ``to`` field, wherever it is hosted.
+        hosts: dict[str, list] = {name: [] for name in self.network.nodes()}
         for principal in self.principals.values():
-            workspace = principal.workspace
-            placement = PlacementMap.from_prednode_facts(
-                workspace.tuples("predNode"))
-            if not len(placement):
-                continue
-            for pred in list(workspace.db.relations):
-                info = workspace.catalog.get(pred)
-                if info is None or info.key_arity == 0:
-                    continue
-                for fact in workspace.db.tuples(pred):
-                    key = fact[:info.key_arity]
-                    node = placement.owner(pred, key)
-                    if node is None:
-                        continue
-                    target = key[0]
-                    if not isinstance(target, str) or target == principal.name:
-                        continue
-                    if target not in self.principals:
-                        continue
-                    marker = (principal.name, pred, fact)
-                    if marker in self._sent:
-                        continue
-                    self._sent.add(marker)
-                    batcher.add(principal.node, node, pred, fact,
-                                to=target, round_stamp=round_number)
-                    sent_any = True
-        return sent_any
+            hosts.setdefault(principal.node, []).append(principal)
+        nodes = {
+            name: WorkspaceNode(self, name, principals, report)
+            for name, principals in hosts.items()
+        }
 
-    def _import_deliveries(self, deliveries: list, report: RunReport,
-                           ledger: TicketLedger) -> int:
-        """Decode batches, retire their tickets, import per principal.
+        def reject(source: str, reason: str) -> None:
+            report.rejected += 1
+            report.rejected_detail.append((source, reason))
 
-        Returns the number of facts handed to import transactions.
-        """
-        grouped: dict[str, list] = {}
-        count = 0
-        for _src, _dst, blob in deliveries:
-            try:
-                round_stamp, items = decode_batch_message(blob, self.registry)
-            except NetworkError as exc:
-                report.rejected += 1
-                report.rejected_detail.append(("<decode>", str(exc)))
-                # an undecodable blob may still be a ticketed batch whose
-                # payload was corrupted in transit — account for it
-                self._retire_guarded(ledger, 0)
-                continue
-            self._retire_guarded(ledger, round_stamp)
-            for to, pred, fact in items:
-                grouped.setdefault(to, []).append((pred, fact))
-                count += 1
-        for to, items in grouped.items():
-            principal = self.principals.get(to)
-            if principal is None:
-                report.rejected += len(items)
-                report.rejected_detail.append((to, "unknown principal"))
-                continue
-            self._import_batch(principal, items, report)
-        return count
-
-    @staticmethod
-    def _retire_guarded(ledger: TicketLedger, round_stamp: int) -> None:
-        """Retire one ticket, tolerating unticketed traffic.
-
-        Unlike the cluster runtime — which owns its transport exclusively
-        and keeps the strict issue/retire invariant — the system's network
-        is open: tests (and adversaries) inject raw messages that no
-        batcher ever ticketed.  Retiring at most what was issued keeps
-        the ledger consistent without turning foreign traffic into a
-        crash.
-        """
-        if ledger.outstanding() > 0:
-            ledger.retire(round_stamp)
+        runtime = ExecutionRuntime(
+            nodes, self.network, self.registry,
+            mode=mode if mode is not None else self.mode,
+            max_batch_bytes=self.max_batch_bytes,
+            strict=False, on_reject=reject)
+        outcome = runtime.run(max_rounds)
+        report.rounds = outcome.productive_rounds
+        report.depth = outcome.depth
+        report.batches = outcome.messages
+        report.bytes = outcome.bytes
+        report.virtual_time = outcome.virtual_time
+        return report
 
     def _import_batch(self, principal: Principal, items: list,
                       report: RunReport) -> None:

@@ -26,11 +26,16 @@ from .runtime import (
     Bindings,
     EvalContext,
     build_plan,
+    cache_plan_bounded,
     cardinality_band,
     relation_sizes,
     solve,
 )
 from .terms import Constraint
+
+#: FIFO bound on a workspace's constraint-plan cache (band-keyed entries
+#: go stale as relations move between cardinality bands).
+_MAX_CACHED_PLANS = 128
 
 
 @dataclass
@@ -124,7 +129,12 @@ def _cached_plan(plan_cache: dict, key: tuple, alternative: tuple,
     if plan is None:
         plan = build_plan(alternative, shape, builtins=context.builtins,
                           sizes=sizes)
-        plan_cache[key] = plan
+        # FIFO bound, shared with EngineRule's plan cache: long-lived
+        # workspace caches otherwise accumulate one entry per band a
+        # relation ever passed through (deletion-heavy workloads walk
+        # bands downward and never revisit the old keys).
+        cache_plan_bounded(plan_cache, key, plan, _MAX_CACHED_PLANS,
+                           context.stats)
         if context.stats is not None:
             context.stats.plans_built += 1
             if plan.reordered:

@@ -88,14 +88,20 @@ class Relation:
         Both handles share tuples and indexes until one of them mutates;
         the mutating side copies its state first (see :meth:`_unshare`),
         so the other side keeps the pre-mutation contents.
+
+        Per-column distinct counts are shared too — same dict, same
+        version tag — so statistics computed through *either* handle
+        (e.g. the planner costing a magic-sets overlay) serve every
+        handle of the unmutated state; the first mutation takes a
+        private copy along with the tuples.
         """
         other = Relation.__new__(Relation)
         other.name = self.name
         other.tuples = self.tuples
         other._indexes = self._indexes
         other._shared = True
-        other._version = 0
-        other._col_stats = {}
+        other._version = self._version
+        other._col_stats = self._col_stats
         self._shared = True
         return other
 
@@ -110,6 +116,7 @@ class Relation:
             positions: {key: list(bucket) for key, bucket in index.items()}
             for positions, index in self._indexes.items()
         }
+        self._col_stats = dict(self._col_stats)
         self._shared = False
 
     def __len__(self) -> int:

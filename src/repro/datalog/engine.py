@@ -30,6 +30,7 @@ from .runtime import (
     EvalContext,
     Plan,
     build_plan,
+    cache_plan_bounded,
     cardinality_band,
     instantiate_head,
     run_flat,
@@ -142,12 +143,8 @@ class EngineRule:
         if plan is None:
             plan = build_plan(self.body, first=delta_position,
                               builtins=context.builtins, sizes=sizes)
-            if len(self._plans) >= self.MAX_CACHED_PLANS:
-                # FIFO eviction: drop the oldest entry, not the whole
-                # cache — clearing would thrash for rules whose many
-                # (delta position, band) keys are all still live.
-                self._plans.pop(next(iter(self._plans)))
-            self._plans[key] = plan
+            cache_plan_bounded(self._plans, key, plan,
+                               self.MAX_CACHED_PLANS, stats)
             if stats is not None:
                 stats.plans_built += 1
                 if plan.reordered:
@@ -155,6 +152,42 @@ class EngineRule:
         elif stats is not None:
             stats.plan_cache_hits += 1
         return plan
+
+    def evict_shrunk_plans(self, db: Database,
+                           shrunk: Iterable[str]) -> int:
+        """Drop cached plans keyed to bands a shrunk relation has left.
+
+        Deletion-heavy maintenance moves relations *down* through
+        cardinality bands; plans cached under the old, larger band would
+        never be served again (their key no longer matches) yet occupy
+        FIFO slots, evicting still-live entries.  For every predicate in
+        ``shrunk`` that this rule's body reads, cached plans whose band
+        signature records a band above the relation's current one are
+        dropped.  Returns the number of evicted plans.
+        """
+        if not self._plans:
+            return 0
+        preds = self._size_preds
+        if not preds:
+            return 0
+        relations = db.relations
+        stale_slots = []
+        for index, pred in enumerate(preds):
+            if pred not in shrunk:
+                continue
+            relation = relations.get(pred)
+            size = len(relation.tuples) if relation is not None else 0
+            stale_slots.append((index, cardinality_band(size)))
+        if not stale_slots:
+            return 0
+        stale_keys = [
+            key for key in self._plans
+            if key[1] is not None and any(
+                key[1][index] > band for index, band in stale_slots)
+        ]
+        for key in stale_keys:
+            del self._plans[key]
+        return len(stale_keys)
 
     def positive_positions(self) -> list[int]:
         return [
@@ -260,7 +293,14 @@ class EvalStats:
       had to scan (:meth:`Relation.distinct_count` cache misses without a
       usable single-column index);
     * ``remote_emissions`` — derived facts diverted to a remote owner by a
-      cluster delta-exchange hook instead of being asserted locally.
+      cluster delta-exchange hook instead of being asserted locally;
+    * ``plans_evicted`` — cached plans dropped, either because a body
+      relation's cardinality band fell (deletion-heavy maintenance would
+      otherwise fill the plan cache with stale large-band entries) or by
+      a cache's FIFO bound (:func:`repro.datalog.runtime.cache_plan_bounded`);
+    * ``sent_dedup_evictions`` — cluster-node ``_sent`` dedup markers
+      cleared by the generation-tagged reset at quiescence (bounding a
+      long-running node's memory by one run's traffic).
     """
 
     MAX_STRATA: ClassVar[int] = 256
@@ -277,6 +317,8 @@ class EvalStats:
     reorder_wins: int = 0
     column_stats_built: int = 0
     remote_emissions: int = 0
+    plans_evicted: int = 0
+    sent_dedup_evictions: int = 0
     rule_firings: dict = field(default_factory=dict)
     strata: list = field(default_factory=list)
 
@@ -308,6 +350,8 @@ class EvalStats:
             reorder_wins=self.reorder_wins,
             column_stats_built=self.column_stats_built,
             remote_emissions=self.remote_emissions,
+            plans_evicted=self.plans_evicted,
+            sent_dedup_evictions=self.sent_dedup_evictions,
             rule_firings=dict(self.rule_firings),
             strata=list(self.strata))
         return snapshot
@@ -333,7 +377,10 @@ class EvalStats:
             reorder_wins=self.reorder_wins - before.reorder_wins,
             column_stats_built=self.column_stats_built
             - before.column_stats_built,
-            remote_emissions=self.remote_emissions - before.remote_emissions)
+            remote_emissions=self.remote_emissions - before.remote_emissions,
+            plans_evicted=self.plans_evicted - before.plans_evicted,
+            sent_dedup_evictions=self.sent_dedup_evictions
+            - before.sent_dedup_evictions)
         for key, count in self.rule_firings.items():
             fired = count - before.rule_firings.get(key, 0)
             if fired:
@@ -354,6 +401,8 @@ class EvalStats:
         self.reorder_wins += other.reorder_wins
         self.column_stats_built += other.column_stats_built
         self.remote_emissions += other.remote_emissions
+        self.plans_evicted += other.plans_evicted
+        self.sent_dedup_evictions += other.sent_dedup_evictions
         for key, count in other.rule_firings.items():
             self.fire(key, count)
         for record in other.strata:
@@ -374,6 +423,8 @@ class EvalStats:
             "reorder_wins": self.reorder_wins,
             "column_stats_built": self.column_stats_built,
             "remote_emissions": self.remote_emissions,
+            "plans_evicted": self.plans_evicted,
+            "sent_dedup_evictions": self.sent_dedup_evictions,
             "rule_firings": dict(sorted(self.rule_firings.items())),
             "strata": [record.as_dict() for record in self.strata],
         }

@@ -77,7 +77,28 @@ def propagate_deletions_from(strata: list, db: Database, context: EvalContext,
             if pred in net_removed:
                 net_removed[pred] -= facts
 
-    return {pred: facts for pred, facts in net_removed.items() if facts}
+    net = {pred: facts for pred, facts in net_removed.items() if facts}
+    if net:
+        _invalidate_shrunk_plans(strata, db, net.keys(), stats)
+    return net
+
+
+def _invalidate_shrunk_plans(strata: list, db: Database, shrunk,
+                             stats: Optional[EvalStats]) -> None:
+    """Plan-invalidation hook for deletion-heavy workloads.
+
+    Every rule reading a predicate that just lost facts drops cached
+    plans keyed to cardinality bands the relation has fallen out of —
+    those keys can never be served again, but they would squat in the
+    FIFO plan cache evicting still-live entries.
+    """
+    shrunk = set(shrunk)
+    evicted = 0
+    for stratum in strata:
+        for rule in list(stratum.rules) + list(stratum.agg_rules):
+            evicted += rule.evict_shrunk_plans(db, shrunk)
+    if stats is not None and evicted:
+        stats.plans_evicted += evicted
 
 
 def _dred_stratum(stratum: Stratum, db: Database, context: EvalContext,

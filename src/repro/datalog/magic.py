@@ -202,9 +202,13 @@ def query_magic(rules: Iterable[Rule], db: Database, query: Atom,
     caller's database.
     """
     program = magic_transform(rules, query)
+    context = context or EvalContext()
     overlay = db.snapshot()
     overlay.add(program.seed_pred, program.seed_fact)
-    evaluate(program.rules, overlay, context or EvalContext())
+    # Thread the caller's stats through the overlay evaluation: the
+    # planner's work (plans built, reorders won, distinct counts
+    # computed) is attributed to the query instead of a throwaway.
+    evaluate(program.rules, overlay, context, stats=context.stats)
     return program.answers(overlay)
 
 

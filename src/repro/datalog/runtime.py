@@ -760,6 +760,24 @@ class Plan:
         return self._flat
 
 
+def cache_plan_bounded(cache: dict, key, plan, limit: int,
+                       stats: Any = None) -> None:
+    """Insert into a FIFO-bounded plan cache, evicting the oldest entry.
+
+    Shared by :class:`~repro.datalog.engine.EngineRule`'s band-keyed
+    cache and the workspace constraint-plan cache, so the eviction
+    policy (and its ``plans_evicted`` accounting) cannot drift between
+    the two.  FIFO rather than clear-all: dropping everything would
+    thrash callers whose many (delta position, band) keys are all still
+    live.
+    """
+    if len(cache) >= limit:
+        cache.pop(next(iter(cache)))
+        if stats is not None:
+            stats.plans_evicted += 1
+    cache[key] = plan
+
+
 def relation_sizes(items: tuple, db: Optional[Database]) -> Optional[dict]:
     """Live statistics of the positive body predicates (cost-model input).
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from typing import Optional
 
-from .transport import encode_batch_item, encode_batch_message
+from .transport import encode_batch_item, encode_batch_message_parts
 
 #: Default size cap per batch message, in encoded-payload bytes.  Small
 #: enough that a pathological round still produces bounded messages,
@@ -50,15 +50,20 @@ class MessageBatcher:
         If appending it would push the pending batch past ``max_bytes``,
         the pending batch is flushed first (stamped with ``round_stamp``)
         so no single message exceeds the cap by more than one item.
+
+        Items are serialized here, once: the same encoded text that
+        sizes the batch is spliced verbatim into the wire envelope at
+        flush, so the hot exchange path never serializes a fact twice.
         """
         item = encode_batch_item(pred, fact, self.registry, to=to)
-        item_size = len(json.dumps(item, separators=(",", ":"))) + 1
+        encoded = json.dumps(item, separators=(",", ":"))
+        item_size = len(encoded) + 1
         link = (src, dst)
         pending = self._sizes.get(link, _ENVELOPE_OVERHEAD)
         if link in self._buffers and pending + item_size > self.max_bytes:
             self._flush_link(link, round_stamp)
             pending = _ENVELOPE_OVERHEAD
-        self._buffers.setdefault(link, []).append(item)
+        self._buffers.setdefault(link, []).append(encoded)
         self._sizes[link] = pending + item_size
 
     def pending_items(self) -> int:
@@ -76,11 +81,14 @@ class MessageBatcher:
         self._sizes.pop(link, None)
         if not items:
             return 0
-        blob = encode_batch_message(items, round_stamp)
+        blob = encode_batch_message_parts(items, round_stamp)
         src, dst = link
         self.network.send(src, dst, blob)
         if self.ledger is not None:
-            self.ledger.issue(round_stamp)
+            # Tickets are slotted per (sender, round): the receiver
+            # retires against the same slot, keeping the quiescence
+            # protocol exact under out-of-order delivery.
+            self.ledger.issue(round_stamp, sender=src)
         self.sent_messages += 1
         self.sent_items += len(items)
         return 1

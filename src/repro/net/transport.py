@@ -136,6 +136,18 @@ def encode_batch_message(items: list, round_stamp: int = 0) -> bytes:
     return json.dumps(payload, separators=(",", ":")).encode("utf-8")
 
 
+def encode_batch_message_parts(encoded_items: list, round_stamp: int = 0) -> bytes:
+    """Assemble a batch envelope from *already serialized* item texts.
+
+    Byte-identical to :func:`encode_batch_message` over the decoded
+    items (same compact separators), but lets the batcher reuse the
+    serialization it already did for size accounting instead of
+    re-dumping every fact at flush.
+    """
+    body = ",".join(encoded_items)
+    return f'{{"round":{int(round_stamp)},"batch":[{body}]}}'.encode("utf-8")
+
+
 def decode_batch_message(blob: bytes, registry) -> tuple[int, list]:
     """Decode a batch message: ``(round_stamp, [(to, pred, fact), ...])``.
 

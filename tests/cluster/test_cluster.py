@@ -226,3 +226,18 @@ class TestRepeatedRuns:
         second = cluster.run()
         assert len(cluster.ledger.rounds) == first.rounds + second.rounds
         assert second.rounds >= 1
+
+
+class TestPerRunReports:
+    def test_second_run_traffic_fields_are_deltas(self):
+        cluster = reach_cluster(2, vertices=10)
+        first = cluster.run()
+        first_sent = sum(n.sent_facts for n in first.per_node)
+        cluster.assert_fact("edge", (0, 5))
+        second = cluster.run()
+        second_sent = sum(n.sent_facts for n in second.per_node)
+        # run 2's report covers run 2 only, like derivations/new_facts —
+        # not lifetime totals (node attributes stay cumulative)
+        lifetime = sum(n.sent_facts for n in cluster.nodes.values())
+        assert first_sent + second_sent == lifetime
+        assert second_sent < lifetime

@@ -125,3 +125,13 @@ class TestPlacementMap:
         assert placement.owner("export", ("alice",)) == "n1"
         assert placement.owner("export", ("bob",)) == "n2"
         assert placement.owner("export", ("carol",)) is None
+
+
+class TestPinKeyValidation:
+    def test_multi_column_pin_keys_rejected(self):
+        partitioner = Partitioner(["n0", "n1"])
+        with pytest.raises(ClusterError):
+            partitioner.place("export", ("alice", "r1"), "n1")
+        # single-column pins still work and actually route
+        partitioner.place("export", ("alice",), "n1")
+        assert partitioner.owner("export", ("alice", "payload")) == "n1"

@@ -56,3 +56,118 @@ class TestTicketLedger:
         record = ledger.close_round(1, new_facts=0, clock=1.5)
         assert record.retired == 2
         assert ledger.outstanding() == 1
+
+
+class TestRoundVectors:
+    """Per-sender round vectors: exactness the global counters lacked."""
+
+    def test_duplicate_detected_while_other_sender_outstanding(self):
+        ledger = TicketLedger()
+        ledger.issue(0, sender="a")
+        ledger.issue(0, sender="b")
+        ledger.retire(0, sender="a")
+        # a's slot is drained; a duplicate of a's message must be loud
+        # even though b's ticket legitimately keeps outstanding() > 0 —
+        # a single global counter pair would have masked this.
+        with pytest.raises(AssertionError):
+            ledger.retire(0, sender="a")
+
+    def test_retire_against_wrong_round_is_loud(self):
+        ledger = TicketLedger()
+        ledger.issue(3, sender="a")
+        with pytest.raises(AssertionError):
+            ledger.retire(4, sender="a")
+
+    def test_retire_guarded_ignores_foreign_traffic(self):
+        ledger = TicketLedger()
+        assert ledger.retire_guarded(0, sender="intruder") is False
+        ledger.issue(1, sender="a")
+        assert ledger.retire_guarded(1, sender="a") is True
+        assert ledger.retire_guarded(1, sender="a") is False
+        assert ledger.outstanding() == 0
+
+    def test_retire_any_drains_oldest_outstanding_slot(self):
+        ledger = TicketLedger()
+        ledger.issue(2, sender="a")
+        ledger.issue(5, sender="a")
+        assert ledger.retire_any(sender="a") is True
+        assert ledger.outstanding_of("a", round_stamp=2) == 0
+        assert ledger.outstanding_of("a", round_stamp=5) == 1
+        assert ledger.retire_any(sender="a") is True
+        assert ledger.retire_any(sender="a") is False   # nothing left
+        assert ledger.retire_any(sender="stranger") is False
+
+    def test_outstanding_of_tracks_one_sender(self):
+        ledger = TicketLedger()
+        ledger.issue(0, count=2, sender="a")
+        ledger.issue(1, sender="b")
+        assert ledger.outstanding_of("a") == 2
+        assert ledger.outstanding_of("b") == 1
+        assert ledger.outstanding_of("a", round_stamp=1) == 0
+        ledger.retire(0, sender="a")
+        assert ledger.outstanding_of("a") == 1
+
+
+class TestQuiescenceProperty:
+    """Hypothesis: quiescence is never declared with a ticket in flight,
+    and every finite delivery trace terminates quiescent — under
+    arbitrary reordering, delay, and (detected) duplication."""
+
+    import random as _random
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    sends_strategy = st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c", "d"]),
+                  st.integers(min_value=0, max_value=6)),
+        max_size=40,
+    )
+
+    @given(sends=sends_strategy, seed=st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_never_quiescent_with_a_ticket_outstanding(self, sends, seed):
+        rng = self._random.Random(seed)
+        ledger = TicketLedger()
+        queue = list(sends)
+        rng.shuffle(queue)          # sends happen in arbitrary order
+        in_flight: list = []        # delivery delayed arbitrarily long
+        clock = 0.0
+        while queue or in_flight:
+            clock += 1.0
+            if queue and (not in_flight or rng.random() < 0.5):
+                sender, stamp = queue.pop()
+                ledger.issue(stamp, sender=sender)
+                in_flight.append((sender, stamp))
+            else:
+                # deliver any in-flight message, not the oldest —
+                # reordering across senders and rounds
+                sender, stamp = in_flight.pop(rng.randrange(len(in_flight)))
+                ledger.retire(stamp, sender=sender)
+            if in_flight:
+                assert ledger.outstanding() == len(in_flight)
+                assert not ledger.quiescent()
+        # the finite trace terminated; an idle closing round completes
+        # the proof and quiescence is declared exactly now
+        assert ledger.outstanding() == 0
+        ledger.close_quiet(clock)
+        assert ledger.quiescent()
+
+    @given(sends=sends_strategy.filter(bool),
+           seed=st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_duplicated_delivery_is_always_detected(self, sends, seed):
+        rng = self._random.Random(seed)
+        ledger = TicketLedger()
+        for sender, stamp in sends:
+            ledger.issue(stamp, sender=sender)
+        order = list(sends)
+        rng.shuffle(order)
+        for sender, stamp in order:
+            ledger.retire(stamp, sender=sender)
+        duplicate = rng.choice(sends)
+        with pytest.raises(AssertionError):
+            ledger.retire(duplicate[1], sender=duplicate[0])
+        # and the guarded form refuses silently instead
+        assert ledger.retire_guarded(duplicate[1],
+                                     sender=duplicate[0]) is False

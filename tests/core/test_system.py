@@ -169,6 +169,92 @@ class TestOpenNetworkRobustness:
         assert report.rejected == 1
         assert report.rejected_detail[0][0] == "<decode>"
 
+    def test_exhausted_max_rounds_returns_partial_report(self, make_system):
+        """The open-transport contract: hitting the round cap returns a
+        best-effort report (the pre-scheduler behavior), not an
+        exception surfacing from the workspace API."""
+        system = make_system("plaintext")
+        a = system.create_principal("a")
+        b = system.create_principal("b")
+        b.load("seen(X) <- msg(X).")
+        a.says(b, 'msg("one").')
+        a.says(b, 'msg("two").')
+        report = system.run(max_rounds=1)    # too few to finish cleanly
+        assert report.rounds <= 1            # capped, not crashed
+        second = system.run()                # a later run completes it
+        assert b.tuples("seen") == {("one",), ("two",)}
+        assert report.rejected + second.rejected == 0
+
+    def test_placement_through_principal_less_node_still_delivers(
+            self, make_system):
+        """predNode may route through a network node hosting no
+        principal; import finds the destination by the message's ``to``
+        field, so the facts must not be dropped as 'unknown node'."""
+        system = make_system("plaintext")
+        a = system.create_principal("a")
+        b = system.create_principal("b")
+        system.network.add_node("relay")
+        b.load("seen(X) <- msg(X).")
+        # route everything addressed to b through the relay node
+        for principal in (a, b):
+            with principal.workspace.transaction():
+                principal.workspace.assert_fact("node", ("relay",))
+                principal.workspace.retract_fact("loc", ("b", "b"))
+                principal.workspace.assert_fact("loc", ("b", "relay"))
+        a.says(b, 'msg("via relay").')
+        report = system.run()
+        assert b.tuples("seen") == {("via relay",)}
+        assert report.rejected == 0
+
+    def test_async_relay_routing_drains_every_host(self, make_system):
+        """Overlapped mode: an import routed through a relay node lands
+        at a principal hosted *elsewhere*; that host's consequent
+        exports must still ship (every node is offered a drain after an
+        integration), or the multi-hop chain silently stalls."""
+        system = make_system("plaintext")
+        a = system.create_principal("a")
+        b = system.create_principal("b")
+        c = system.create_principal("c")
+        system.network.add_node("relay")
+        b.load('says(me,"c",[| msg(X). |]) <- msg(X).')
+        c.load("seen(X) <- msg(X).")
+        for principal in (a, b, c):
+            with principal.workspace.transaction():
+                principal.workspace.assert_fact("node", ("relay",))
+                principal.workspace.retract_fact("loc", ("b", "b"))
+                principal.workspace.assert_fact("loc", ("b", "relay"))
+        a.says(b, 'msg("hop").')
+        report = system.run(mode="async")
+        assert c.tuples("seen") == {("hop",)}
+        assert report.rejected == 0
+
+    def test_corrupted_midrun_batch_is_rejected_not_fatal(self, make_system):
+        """A *ticketed* batch corrupted in transit (round stamp and all)
+        must not wedge the quiescence ledger: the run completes with the
+        rejection audited, and the sender's oldest outstanding ticket is
+        retired on the evidence that something of theirs arrived."""
+        class CorruptingNetwork(SimulatedNetwork):
+            def __init__(self):
+                super().__init__()
+                self.sent = 0
+
+            def send(self, src, dst, payload, at=None):
+                self.sent += 1
+                if self.sent == 2:      # the round-1 relay batch
+                    payload = b"\xff" + payload[1:]
+                super().send(src, dst, payload, at=at)
+
+        system = make_system("plaintext", network=CorruptingNetwork())
+        a = system.create_principal("a")
+        b = system.create_principal("b")
+        system.create_principal("c")
+        b.load('says(me,"c",[| msg(X). |]) <- msg(X).')
+        a.says(b, 'msg("relay me").')
+        report = system.run()       # must not raise
+        assert report.rejected == 1
+        assert report.rejected_detail[0][0] == "<decode>"
+        assert b.tuples("msg") == {("relay me",)}
+
     def test_legacy_single_fact_message_imports(self, make_system):
         from repro.net.transport import encode_fact_message
 

@@ -150,6 +150,48 @@ class TestPlannerCounters:
         assert stats.column_stats_built == 2
         assert stats.rule_firings == {"sel": 2}
 
+    def test_magic_overlay_feeds_live_distinct_counts(self):
+        """The magic-sets overlay plans with *live* distinct counts.
+
+        The skewed dup/uniq join from the planner test, behind a magic
+        rewrite: the adorned rule must still reorder on real distinct
+        counts (not the 0.1 fallback), the planner work must be
+        attributed to the caller's stats, and — because overlay views
+        share their column statistics with the donor relations — a
+        second query must *not* re-scan the EDB columns.
+        """
+        from repro.datalog.magic import query_magic
+        from repro.datalog.terms import Atom, Variable
+
+        rules = [s for s in parse_statements(
+            "sel: h(Y) <- a(X), dup(X,Y), uniq(X,Y).")
+            if isinstance(s, Rule)]
+        db = Database()
+        db.add("a", (0,))
+        db.add("a", (1,))
+        for i in range(100):
+            db.add("dup", (i % 2, i))     # col 0 distinct: 2
+            db.add("uniq", (i, i))        # col 0 distinct: 100
+        stats = EvalStats()
+        context = EvalContext(stats=stats)
+        query = Atom("h", (Variable("Y"),))
+
+        first = query_magic(rules, db, query, context)
+        assert first == {(0,), (1,)}
+        # dup[0] and uniq[0] were each scanned exactly once, and the
+        # cost model used them to reorder the adorned join.
+        assert stats.column_stats_built == 2
+        assert stats.plans_built == 1
+        assert stats.reorder_wins == 1
+
+        second = query_magic(rules, db, query, context)
+        assert second == first
+        # fresh overlay, fresh plan — but the distinct counts were
+        # served from the stats shared with the donor relations.
+        assert stats.column_stats_built == 2
+        assert stats.plans_built == 2
+        assert stats.reorder_wins == 2
+
     def test_counters_survive_merge_diff_and_as_dict(self):
         _, stats = run_chain()
         merged = EvalStats()

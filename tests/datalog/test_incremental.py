@@ -193,3 +193,83 @@ def test_property_aggregate_stream_matches_scratch(seed):
             alive.add(edge)
             harness.insert("e", edge)
         harness.check()
+
+
+class TestPlanInvalidation:
+    """Deletion-heavy maintenance must evict stale band-keyed plans.
+
+    A relation shrinking across cardinality bands leaves its rules'
+    cached plans keyed to bands that can never be served again; the
+    deletion propagator's invalidation hook drops them (observable as
+    ``EvalStats.plans_evicted``) so they stop squatting in the FIFO
+    plan cache.
+    """
+
+    def _chain(self, n=100):
+        from repro.datalog.engine import EvalStats
+
+        rules = normalize_rules(rules_of(
+            "base: r(X,Y) <- e(X,Y). step: r(X,Z) <- r(X,Y), e(Y,Z)."))
+        db = Database()
+        edb = {"e": set()}
+        for i in range(n):
+            db.add("e", (i, i + 1))
+            edb["e"].add((i, i + 1))
+        stats = EvalStats()
+        evaluate(rules, db, EvalContext(stats=stats), stats=stats)
+        return rules, db, edb, stats
+
+    def test_band_drop_evicts_stale_plans(self):
+        rules, db, edb, stats = self._chain()
+        step = next(r for r in rules if r.label == "step")
+        big_band_keys = [k for k in step._plans if k[1] is not None]
+        assert big_band_keys  # the 100-fact chain engaged the cost model
+
+        deleted = {"e": {(i, i + 1) for i in range(10, 100)}}
+        for fact in deleted["e"]:
+            db.discard("e", fact)
+            edb["e"].discard(fact)
+        propagate_deletions(stratify(rules), db, EvalContext(), deleted,
+                            edb_facts=lambda p: edb.get(p, set()),
+                            stats=stats)
+        assert stats.plans_evicted >= len(big_band_keys)
+        # no cached plan survives under a band the relation has left
+        from repro.datalog.runtime import cardinality_band
+        band_now = cardinality_band(len(db.tuples("e")))
+        for rule in rules:
+            preds = rule._size_preds or ()
+            for key in rule._plans:
+                if key[1] is None:
+                    continue
+                for index, pred in enumerate(preds):
+                    if pred == "e":
+                        assert key[1][index] <= band_now
+
+    def test_maintained_state_matches_scratch_after_eviction(self):
+        rules, db, edb, stats = self._chain()
+        deleted = {"e": {(i, i + 1) for i in range(10, 100)}}
+        for fact in deleted["e"]:
+            db.discard("e", fact)
+            edb["e"].discard(fact)
+        propagate_deletions(stratify(rules), db, EvalContext(), deleted,
+                            edb_facts=lambda p: edb.get(p, set()),
+                            stats=stats)
+        scratch = Database()
+        for fact in edb["e"]:
+            scratch.add("e", fact)
+        evaluate(normalize_rules(rules_of(
+            "base: r(X,Y) <- e(X,Y). step: r(X,Z) <- r(X,Y), e(Y,Z).")),
+            scratch)
+        assert scratch.tuples("r") == db.tuples("r")
+        # the next insertion replans cleanly at the new band
+        db.add("e", (3, 9))
+        edb["e"].add((3, 9))
+        propagate_insertions(stratify(rules), db, EvalContext(), {"e": {(3, 9)}},
+                             edb_facts=lambda p: edb.get(p, set()))
+        scratch2 = Database()
+        for fact in edb["e"]:
+            scratch2.add("e", fact)
+        evaluate(normalize_rules(rules_of(
+            "base: r(X,Y) <- e(X,Y). step: r(X,Z) <- r(X,Y), e(Y,Z).")),
+            scratch2)
+        assert scratch2.tuples("r") == db.tuples("r")

@@ -18,9 +18,9 @@ s2: reachable(Z,D)@Z :- neighbor(S,Z), W says reachable(S,D).
 """
 
 
-def build_ring(size, hosts=None, auth="hmac"):
+def build_ring(size, hosts=None, auth="hmac", mode="bsp"):
     """A reachability ring; ``hosts`` maps principal index -> node name."""
-    system = LBTrustSystem(auth=auth, seed=11)
+    system = LBTrustSystem(auth=auth, seed=11, mode=mode)
     names = [f"n{i}" for i in range(size)]
     principals = {}
     for i, name in enumerate(names):
@@ -68,6 +68,45 @@ class TestSendlogOnCluster:
         # more facts moved than wire messages: coalescing happened
         assert report.delivered > report.batches > 0
         assert system.network.total.messages == report.batches
+
+    def test_bit_identical_under_every_scheduler_and_packing(self):
+        """The PR-4 acceptance bar: a 6-principal ring fixpoints
+        bit-identically under single-node hosting, BSP clustering onto
+        3 and 6 hosts, and async overlapped scheduling — the program
+        never changes, only where and how it runs (predNode's promise,
+        machine-executed)."""
+        size = 6
+        reference_system, reference = build_ring(size, hosts=["solo"] * size)
+        reference_system.run(max_rounds=80)
+        expected = reachability_of(reference)
+        three_hosts = [f"host{i % 3}" for i in range(size)]
+        six_hosts = [f"host{i}" for i in range(size)]
+        for hosts, mode in [
+            (three_hosts, "bsp"),
+            (six_hosts, "bsp"),
+            (three_hosts, "async"),
+            (six_hosts, "async"),
+            (["solo"] * size, "async"),
+        ]:
+            system, principals = build_ring(size, hosts=hosts, mode=mode)
+            report = system.run(max_rounds=80)
+            assert reachability_of(principals) == expected, (hosts, mode)
+            assert report.rejected == 0
+
+    def test_async_says_attribution_survives_the_exchange(self):
+        """Authenticated import is mode-independent: under the
+        overlapped scheduler every principal still hears its neighbors
+        through the says machinery (heard facts name real speakers)."""
+        size = 4
+        hosts = [f"host{i % 2}" for i in range(size)]
+        system, principals = build_ring(size, hosts=hosts, mode="async")
+        system.run(max_rounds=80)
+        names = set(principals)
+        for name, principal in principals.items():
+            speakers = {speaker for speaker, _ref
+                        in principal.tuples("heard")}
+            assert speakers  # it heard someone
+            assert speakers <= names - {name}
 
     def test_single_host_cluster_stays_silent_on_the_wire(self):
         # all principals colocated: everything is local delivery with

@@ -36,7 +36,12 @@ from repro.net.transport import (
 
 # -- strategies -------------------------------------------------------------
 
-identifiers = st.from_regex(r"[a-z][a-zA-Z0-9_]{0,8}", fullmatch=True)
+# Lexer keywords can never be functors/predicates (the parser rejects
+# them in every position), so they are outside the codec's value domain.
+_KEYWORDS = {"me", "true", "false", "agg"}
+identifiers = st.from_regex(r"[a-z][a-zA-Z0-9_]{0,8}",
+                            fullmatch=True).filter(
+                                lambda name: name not in _KEYWORDS)
 var_names = st.from_regex(r"[A-Z][a-zA-Z0-9_]{0,6}", fullmatch=True)
 
 # Scalars the codec tags directly.  Floats: NaN can never satisfy an
