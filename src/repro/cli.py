@@ -150,14 +150,17 @@ def main(argv: Optional[list] = None) -> int:
         from .bench.cli import main as bench_main
         return bench_main(argv[1:])
     if argv and argv[0] == "cluster":
-        # `repro cluster ...` — the sharded-evaluation demo.
+        # `repro cluster ...` — the sharded-evaluation demo (simulated
+        # network, in-process sockets, or one OS process per node).
         from .cluster.demo import main as cluster_main
         return cluster_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Interactive LBTrust shell (CIDR 2009 reproduction); "
                     "use `repro bench --help` for the benchmark harness, "
-                    "`repro cluster --help` for the sharded-evaluation demo",
+                    "`repro cluster --help` for the sharded-evaluation demo "
+                    "(--transport socket --procs N deploys one OS process "
+                    "per node)",
     )
     parser.add_argument("--auth", default="hmac",
                         choices=["plaintext", "hmac", "rsa", "mixed"])

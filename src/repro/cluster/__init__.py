@@ -1,4 +1,4 @@
-"""Sharded multi-node evaluation over the simulated network.
+"""Sharded multi-node evaluation — simulated, socket, or multiprocess.
 
 The paper *represents* distribution (``predNode`` placement, section
 3.5); this package *executes* it: hash/range-partitioned EDB shards,
@@ -8,10 +8,15 @@ quiescence.  The :mod:`~repro.cluster.scheduler` module is the unified
 :class:`ExecutionRuntime` that drives both Datalog shards and principal
 workspaces in ``bsp`` or ``async`` (overlapped) mode; the
 :mod:`~repro.cluster.placement_check` module statically verifies that a
-program's joins are co-located under the placement.  See
-:mod:`repro.cluster.runtime` for the full protocol.
+program's joins are co-located under the placement.  Every runtime runs
+over either network transport (virtual-clock
+:class:`~repro.net.network.SimulatedNetwork` or TCP
+:class:`~repro.net.socket_transport.SocketNetwork`), and the
+:mod:`~repro.cluster.launch` module deploys one OS process per node.
+See :mod:`repro.cluster.runtime` for the full protocol.
 """
 
+from .launch import LaunchReport, cluster_spec, launch, spec_nodes, system_spec
 from .node import ClusterNode
 from .partition import (
     MODE_LOCAL,
@@ -41,6 +46,7 @@ __all__ = [
     "ClusterNode",
     "ClusterReport",
     "ExecutionRuntime",
+    "LaunchReport",
     "MODE_ASYNC",
     "MODE_BSP",
     "MODE_LOCAL",
@@ -56,5 +62,9 @@ __all__ = [
     "TicketLedger",
     "analyze_join_compatibility",
     "check_join_compatibility",
+    "cluster_spec",
+    "launch",
+    "spec_nodes",
     "stable_hash",
+    "system_spec",
 ]

@@ -300,7 +300,12 @@ class EvalStats:
       a cache's FIFO bound (:func:`repro.datalog.runtime.cache_plan_bounded`);
     * ``sent_dedup_evictions`` — cluster-node ``_sent`` dedup markers
       cleared by the generation-tagged reset at quiescence (bounding a
-      long-running node's memory by one run's traffic).
+      long-running node's memory by one run's traffic);
+    * ``magic_programs_built`` / ``magic_cache_hits`` — magic-sets
+      rewrites normalized into engine rules vs served from
+      :mod:`repro.datalog.magic`'s program cache (a cache hit reuses the
+      rewrite's :class:`EngineRule` objects, so their band-keyed join
+      plans survive across point queries instead of being rebuilt).
     """
 
     MAX_STRATA: ClassVar[int] = 256
@@ -319,6 +324,8 @@ class EvalStats:
     remote_emissions: int = 0
     plans_evicted: int = 0
     sent_dedup_evictions: int = 0
+    magic_programs_built: int = 0
+    magic_cache_hits: int = 0
     rule_firings: dict = field(default_factory=dict)
     strata: list = field(default_factory=list)
 
@@ -352,6 +359,8 @@ class EvalStats:
             remote_emissions=self.remote_emissions,
             plans_evicted=self.plans_evicted,
             sent_dedup_evictions=self.sent_dedup_evictions,
+            magic_programs_built=self.magic_programs_built,
+            magic_cache_hits=self.magic_cache_hits,
             rule_firings=dict(self.rule_firings),
             strata=list(self.strata))
         return snapshot
@@ -380,7 +389,11 @@ class EvalStats:
             remote_emissions=self.remote_emissions - before.remote_emissions,
             plans_evicted=self.plans_evicted - before.plans_evicted,
             sent_dedup_evictions=self.sent_dedup_evictions
-            - before.sent_dedup_evictions)
+            - before.sent_dedup_evictions,
+            magic_programs_built=self.magic_programs_built
+            - before.magic_programs_built,
+            magic_cache_hits=self.magic_cache_hits
+            - before.magic_cache_hits)
         for key, count in self.rule_firings.items():
             fired = count - before.rule_firings.get(key, 0)
             if fired:
@@ -403,6 +416,8 @@ class EvalStats:
         self.remote_emissions += other.remote_emissions
         self.plans_evicted += other.plans_evicted
         self.sent_dedup_evictions += other.sent_dedup_evictions
+        self.magic_programs_built += other.magic_programs_built
+        self.magic_cache_hits += other.magic_cache_hits
         for key, count in other.rule_firings.items():
             self.fire(key, count)
         for record in other.strata:
@@ -425,6 +440,8 @@ class EvalStats:
             "remote_emissions": self.remote_emissions,
             "plans_evicted": self.plans_evicted,
             "sent_dedup_evictions": self.sent_dedup_evictions,
+            "magic_programs_built": self.magic_programs_built,
+            "magic_cache_hits": self.magic_cache_hits,
             "rule_firings": dict(sorted(self.rule_firings.items())),
             "strata": [record.as_dict() for record in self.strata],
         }

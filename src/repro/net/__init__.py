@@ -1,7 +1,14 @@
-"""Simulated network substrate: nodes, FIFO links, virtual clock, stats."""
+"""Network substrate: nodes, FIFO links, traffic stats — two transports.
+
+:class:`SimulatedNetwork` runs on a virtual clock with modeled latency;
+:class:`SocketNetwork` moves the same messages over real TCP sockets
+(length-prefixed frames, wall clock).  Both expose the interface the
+cluster scheduler consumes, so every runtime runs unchanged on either.
+"""
 
 from .batch import DEFAULT_MAX_BATCH_BYTES, MessageBatcher
 from .network import LinkStats, SimulatedNetwork
+from .socket_transport import MAX_FRAME_BYTES, SocketNetwork
 
-__all__ = ["DEFAULT_MAX_BATCH_BYTES", "LinkStats", "MessageBatcher",
-           "SimulatedNetwork"]
+__all__ = ["DEFAULT_MAX_BATCH_BYTES", "LinkStats", "MAX_FRAME_BYTES",
+           "MessageBatcher", "SimulatedNetwork", "SocketNetwork"]

@@ -73,6 +73,16 @@ class SimulatedNetwork:
             self._latency[(dst, src)] = latency
 
     def latency(self, src: str, dst: str) -> float:
+        """The configured base latency of a link — a pure inspection.
+
+        Jitter is drawn from the seeded RNG once per :meth:`send`, not
+        here: merely *looking* at a link's latency (or costing the same
+        send twice) must not perturb the deterministic jitter stream.
+        """
+        return self._latency.get((src, dst), self.default_latency)
+
+    def _transit_latency(self, src: str, dst: str) -> float:
+        """Base latency plus one jitter draw — consumed only by send()."""
         base = self._latency.get((src, dst), self.default_latency)
         if self.jitter:
             base += self._rng.uniform(0.0, self.jitter)
@@ -93,7 +103,7 @@ class SimulatedNetwork:
         if src == dst:
             arrival = when
         else:
-            arrival = when + self.latency(src, dst)
+            arrival = when + self._transit_latency(src, dst)
             # FIFO per link: never deliver before an earlier send on the link.
             previous = self._last_sent.get((src, dst), 0.0)
             arrival = max(arrival, previous)
@@ -127,8 +137,32 @@ class SimulatedNetwork:
         return out
 
     def link_stats(self, src: str, dst: str) -> LinkStats:
-        return self.stats.get((src, dst), LinkStats())
+        """The *stored* counters of a link (created empty on first use).
+
+        Always returns the entry held in :attr:`stats`, so callers that
+        accumulate into the returned object mutate the shared counters
+        instead of silently losing counts into a throwaway copy.
+        """
+        return self.stats.setdefault((src, dst), LinkStats())
 
     def reset_stats(self) -> None:
+        """Zero the traffic counters for a fresh measurement.
+
+        When no message is in flight this also clears the per-link FIFO
+        watermarks and rewinds the virtual clock, so a back-to-back run
+        starts genuinely fresh instead of inheriting the previous run's
+        per-link delivery floor (messages would otherwise never arrive
+        before the old watermarks).  With messages still queued the
+        timing state is kept — rewinding mid-flight would corrupt their
+        arrival ordering.
+        """
         self.stats.clear()
         self.total = LinkStats()
+        if not self._queue:
+            self._last_sent.clear()
+            self.clock = 0.0
+
+    def reset(self) -> None:
+        """Full reset: drop queued messages, watermarks, clock and stats."""
+        self._queue.clear()
+        self.reset_stats()

@@ -128,3 +128,63 @@ def test_property_magic_matches_bottomup(seed):
                           parse_atom(f'r("{source}",X)'))
     truth = {t for t in bottom_up(TC, facts, "r") if t[0] == source}
     assert answers == truth
+
+
+class TestProgramCache:
+    """The rewrite cache: one program per (rules, pred, binding pattern)."""
+
+    def test_same_pattern_different_bindings_share_one_program(self):
+        facts = {"e": [("a", "b"), ("b", "c"), ("c", "d")]}
+        db = db_with(facts)
+        rules = rules_of(TC)
+        truth = bottom_up(TC, facts, "r")
+        stats = EvalStats()
+        context = EvalContext(stats=stats)
+        for source in ("a", "b", "c", "zz"):
+            answers = query_magic(rules, db, parse_atom(f'r("{source}",X)'),
+                                  context)
+            assert answers == {t for t in truth if t[0] == source}
+        # one rewrite built, three served from the cache — the bound
+        # *values* differ per query but the binding pattern does not
+        assert stats.magic_programs_built == 1
+        assert stats.magic_cache_hits == 3
+
+    def test_distinct_patterns_get_distinct_programs(self):
+        facts = {"e": [("a", "b"), ("b", "c")]}
+        db = db_with(facts)
+        rules = rules_of(TC)
+        stats = EvalStats()
+        context = EvalContext(stats=stats)
+        bf = query_magic(rules, db, parse_atom('r("a",X)'), context)
+        fb = query_magic(rules, db, parse_atom('r(X,"c")'), context)
+        bb = query_magic(rules, db, parse_atom('r("a","c")'), context)
+        assert stats.magic_programs_built == 3
+        assert stats.magic_cache_hits == 0
+        truth = bottom_up(TC, facts, "r")
+        assert bf == {t for t in truth if t[0] == "a"}
+        assert fb == {t for t in truth if t[1] == "c"}
+        assert bb == {("a", "c")}
+
+    def test_fresh_rule_objects_do_not_poison_the_cache(self):
+        # identity-keyed: re-parsing the program is a different key, so
+        # answers stay correct (a miss, never a wrong hit)
+        facts = {"e": [("a", "b"), ("b", "c")]}
+        db = db_with(facts)
+        first = query_magic(rules_of(TC), db, parse_atom('r("a",X)'))
+        second = query_magic(rules_of(TC), db, parse_atom('r("a",X)'))
+        assert first == second == {("a", "b"), ("a", "c")}
+
+    def test_cache_is_fifo_bounded(self):
+        from repro.datalog import magic as magic_module
+
+        facts = {"e": [("a", "b")]}
+        db = db_with(facts)
+        keep = []
+        before = len(magic_module._PROGRAM_CACHE)
+        for _ in range(magic_module.MAX_CACHED_PROGRAMS + 8):
+            rules = rules_of(TC)   # fresh identities: a fresh cache key
+            keep.append(rules)
+            query_magic(rules, db, parse_atom('r("a",X)'))
+        assert len(magic_module._PROGRAM_CACHE) \
+            <= magic_module.MAX_CACHED_PROGRAMS
+        assert len(magic_module._PROGRAM_CACHE) >= before

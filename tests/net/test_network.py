@@ -68,6 +68,30 @@ class TestDelivery:
         second.deliver_all()
         assert first.clock == second.clock
 
+    def test_latency_inspection_does_not_consume_jitter(self):
+        """Regression: latency() used to draw from the jitter RNG, so
+        merely inspecting a link perturbed the seeded stream and broke
+        run-to-run determinism."""
+        first = network(jitter=1.0, seed=7)
+        second = network(jitter=1.0, seed=7)
+        # inspect links on one network only — must not desync the runs
+        for _ in range(5):
+            first.latency("a", "b")
+            first.latency("b", "c")
+        clocks = []
+        for net in (first, second):
+            for i in range(4):
+                net.send("a", "b", f"m{i}".encode())
+                net.send("b", "c", f"m{i}".encode())
+            net.deliver_all()
+            clocks.append(net.clock)
+        assert clocks[0] == clocks[1]
+
+    def test_latency_is_pure_and_jitter_free(self):
+        net = network(default_latency=2.0, jitter=1.0, seed=3)
+        assert net.latency("a", "b") == 2.0
+        assert net.latency("a", "b") == net.latency("a", "b")
+
 
 class TestStats:
     def test_message_and_byte_counters(self):
@@ -93,3 +117,52 @@ class TestStats:
         net.set_latency("a", "b", 1.0, symmetric=False)
         assert net.latency("a", "b") == 1.0
         assert net.latency("b", "a") == net.default_latency
+
+    def test_link_stats_returns_the_stored_entry(self):
+        """Regression: link_stats() on an unrecorded link returned a
+        fresh LinkStats not stored in net.stats, so callers mutating the
+        returned object silently lost their counts."""
+        net = network()
+        stats = net.link_stats("a", "b")
+        stats.messages += 7
+        assert net.link_stats("a", "b").messages == 7
+        assert net.stats[("a", "b")] is stats
+        # traffic keeps accumulating into the same object
+        net.send("a", "b", b"x")
+        assert stats.messages == 8
+
+    def test_reset_stats_clears_fifo_watermarks_between_runs(self):
+        """Regression: reset_stats() left _last_sent and the clock
+        stale, so a "fresh" run inherited the previous run's per-link
+        delivery floor (arrivals clamped to the old watermark)."""
+        net = network(default_latency=5.0)
+        net.send("a", "b", b"run1")
+        net.deliver_all()
+        assert net.clock == 5.0
+        net.reset_stats()
+        assert net.clock == 0.0
+        net.send("a", "b", b"run2")
+        net.deliver_all()
+        # a truly fresh run: arrival at plain latency, not max(5.0, ...)
+        assert net.clock == 5.0
+        assert net.total.messages == 1
+
+    def test_reset_stats_keeps_timing_while_messages_in_flight(self):
+        net = network(default_latency=2.0)
+        net.send("a", "b", b"early")
+        net.send("a", "b", b"queued")
+        net.deliver_next()
+        net.reset_stats()   # one message still queued: timing survives
+        assert net.clock == 2.0
+        assert net.pending() == 1
+        net.deliver_all()
+        assert net.clock == 2.0
+
+    def test_full_reset_drops_queue_and_timing(self):
+        net = network(default_latency=2.0)
+        net.send("a", "b", b"x")
+        net.reset()
+        assert net.pending() == 0
+        assert net.clock == 0.0
+        assert net.total.messages == 0
+        assert net.deliver_next() is None

@@ -141,6 +141,40 @@ class TestClusterSubcommand:
         code, _output = self.run_demo("--nodes", "0")
         assert code == 2
 
+    def test_socket_transport_in_process(self):
+        code, output = self.run_demo("--transport", "socket",
+                                     "--nodes", "3", "--vertices", "20")
+        assert code == 0
+        assert "socket transport" in output
+        assert "fixpoint:" in output
+        assert "wall time" in output
+
+    def test_socket_transport_multiprocess(self):
+        code, output = self.run_demo("--transport", "socket",
+                                     "--procs", "3", "--vertices", "20")
+        assert code == 0
+        assert "3 worker process(es)" in output
+        assert "across 3 OS processes" in output
+        assert "fixpoint:" in output
+
+    def test_socket_and_simulated_fixpoints_agree(self):
+        _, simulated = self.run_demo("--nodes", "3", "--vertices", "20")
+        _, in_proc = self.run_demo("--transport", "socket",
+                                   "--nodes", "3", "--vertices", "20")
+        _, multi = self.run_demo("--transport", "socket",
+                                 "--procs", "3", "--vertices", "20")
+        def fixpoint(output):
+            for line in output.splitlines():
+                if line.startswith("fixpoint:"):
+                    return line.split()[1]
+            raise AssertionError(f"no fixpoint line in {output!r}")
+        assert fixpoint(simulated) == fixpoint(in_proc) == fixpoint(multi)
+
+    def test_procs_requires_socket_transport(self):
+        code, output = self.run_demo("--procs", "3")
+        assert code == 2
+        assert "--transport socket" in output
+
     def test_dispatch_from_main(self):
         # `repro cluster ...` routes through the top-level entry point
         import subprocess
