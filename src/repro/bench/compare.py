@@ -7,6 +7,12 @@ compared on their best-of-N timing.  A point regresses when
 
 with the default threshold generous (25%) because CI machines are noisy;
 optimization PRs comparing on one quiet machine can tighten it.
+
+Some workloads gate on recorded *metrics* too (:data:`GATED_METRICS`):
+the serving workload's per-request tail latency is a product property
+best-of-N wall time cannot see — a point whose total run time held
+steady while its p99 doubled has still regressed.  Gated metrics diff
+under the same threshold rule as timings, one extra delta per metric.
 """
 
 from __future__ import annotations
@@ -15,15 +21,28 @@ import json
 from dataclasses import dataclass
 from typing import Optional
 
+#: Per-workload recorded metrics the compare gate checks in addition to
+#: best-of-N timing.  Values are "lower is better" (latencies); a metric
+#: absent from either side is skipped (new metric, no baseline yet).
+GATED_METRICS: dict[str, tuple] = {
+    "serve_latency": ("p99_ms",),
+}
+
 
 @dataclass
 class PointDelta:
-    """One matched point: baseline vs current best timing."""
+    """One matched point: baseline vs current, on one measure.
+
+    ``metric`` is ``"best"`` for the wall-time comparison (values in
+    seconds) or a recorded-metric name from :data:`GATED_METRICS`
+    (values in that metric's own unit, e.g. milliseconds for ``p99_ms``).
+    """
 
     name: str
     params: dict
     baseline: float
     current: float
+    metric: str = "best"
 
     @property
     def ratio(self) -> float:
@@ -34,8 +53,14 @@ class PointDelta:
 
     def describe(self) -> str:
         params = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
-        return (f"{self.name}[{params}] {self.baseline * 1e3:.3f}ms -> "
-                f"{self.current * 1e3:.3f}ms ({self.ratio:.2f}x baseline)")
+        if self.metric == "best":
+            values = (f"{self.baseline * 1e3:.3f}ms -> "
+                      f"{self.current * 1e3:.3f}ms")
+        else:
+            values = (f"{self.metric} {self.baseline:.3f} -> "
+                      f"{self.current:.3f}")
+        return (f"{self.name}[{params}] {values} "
+                f"({self.ratio:.2f}x baseline)")
 
 
 @dataclass
@@ -84,6 +109,18 @@ def compare_artifacts(baseline: dict[str, dict], current: dict[str, dict],
                 baseline=base_points[key]["best"],
                 current=cur_points[key]["best"],
             ))
+            for metric in GATED_METRICS.get(name, ()):
+                base_value = base_points[key].get("metrics", {}).get(metric)
+                cur_value = cur_points[key].get("metrics", {}).get(metric)
+                if base_value is None or cur_value is None:
+                    continue
+                deltas.append(PointDelta(
+                    name=name,
+                    params=base_points[key]["params"],
+                    baseline=float(base_value),
+                    current=float(cur_value),
+                    metric=metric,
+                ))
     return Comparison(deltas, missing_in_current, missing_in_baseline)
 
 

@@ -154,13 +154,19 @@ def main(argv: Optional[list] = None) -> int:
         # network, in-process sockets, or one OS process per node).
         from .cluster.demo import main as cluster_main
         return cluster_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # `repro serve ...` — the online authorization service: scripted
+        # update+query session, self-checked answers, latency summary.
+        from .serve.cli import main as serve_main
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Interactive LBTrust shell (CIDR 2009 reproduction); "
                     "use `repro bench --help` for the benchmark harness, "
                     "`repro cluster --help` for the sharded-evaluation demo "
                     "(--transport socket --procs N deploys one OS process "
-                    "per node)",
+                    "per node), `repro serve --help` for the online "
+                    "authorization service",
     )
     parser.add_argument("--auth", default="hmac",
                         choices=["plaintext", "hmac", "rsa", "mixed"])

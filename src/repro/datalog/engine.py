@@ -305,7 +305,14 @@ class EvalStats:
       rewrites normalized into engine rules vs served from
       :mod:`repro.datalog.magic`'s program cache (a cache hit reuses the
       rewrite's :class:`EngineRule` objects, so their band-keyed join
-      plans survive across point queries instead of being rebuilt).
+      plans survive across point queries instead of being rebuilt);
+    * ``dred_strata`` / ``strata_recomputed`` — deletion-propagation
+      strata maintained by DRed over-delete/re-derive vs recomputed from
+      their EDB (non-monotone strata take the recompute path).  The
+      online serving tests pin these: a served update must maintain
+      incrementally, never trigger a from-scratch recompute;
+    * ``full_recomputes`` — whole-workspace resets (rule deactivation is
+      the only legitimate trigger; pinned to zero under serve traffic).
     """
 
     MAX_STRATA: ClassVar[int] = 256
@@ -326,6 +333,9 @@ class EvalStats:
     sent_dedup_evictions: int = 0
     magic_programs_built: int = 0
     magic_cache_hits: int = 0
+    dred_strata: int = 0
+    strata_recomputed: int = 0
+    full_recomputes: int = 0
     rule_firings: dict = field(default_factory=dict)
     strata: list = field(default_factory=list)
 
@@ -361,6 +371,9 @@ class EvalStats:
             sent_dedup_evictions=self.sent_dedup_evictions,
             magic_programs_built=self.magic_programs_built,
             magic_cache_hits=self.magic_cache_hits,
+            dred_strata=self.dred_strata,
+            strata_recomputed=self.strata_recomputed,
+            full_recomputes=self.full_recomputes,
             rule_firings=dict(self.rule_firings),
             strata=list(self.strata))
         return snapshot
@@ -393,7 +406,11 @@ class EvalStats:
             magic_programs_built=self.magic_programs_built
             - before.magic_programs_built,
             magic_cache_hits=self.magic_cache_hits
-            - before.magic_cache_hits)
+            - before.magic_cache_hits,
+            dred_strata=self.dred_strata - before.dred_strata,
+            strata_recomputed=self.strata_recomputed
+            - before.strata_recomputed,
+            full_recomputes=self.full_recomputes - before.full_recomputes)
         for key, count in self.rule_firings.items():
             fired = count - before.rule_firings.get(key, 0)
             if fired:
@@ -418,6 +435,9 @@ class EvalStats:
         self.sent_dedup_evictions += other.sent_dedup_evictions
         self.magic_programs_built += other.magic_programs_built
         self.magic_cache_hits += other.magic_cache_hits
+        self.dred_strata += other.dred_strata
+        self.strata_recomputed += other.strata_recomputed
+        self.full_recomputes += other.full_recomputes
         for key, count in other.rule_firings.items():
             self.fire(key, count)
         for record in other.strata:
@@ -442,6 +462,9 @@ class EvalStats:
             "sent_dedup_evictions": self.sent_dedup_evictions,
             "magic_programs_built": self.magic_programs_built,
             "magic_cache_hits": self.magic_cache_hits,
+            "dred_strata": self.dred_strata,
+            "strata_recomputed": self.strata_recomputed,
+            "full_recomputes": self.full_recomputes,
             "rule_firings": dict(sorted(self.rule_firings.items())),
             "strata": [record.as_dict() for record in self.strata],
         }

@@ -98,3 +98,8 @@ class NetworkError(ReproError):
 class ClusterError(ReproError):
     """Misuse of the sharded evaluation runtime (unknown node, placement
     conflict, or a program shape distributed evaluation cannot run)."""
+
+
+class ServeError(ReproError):
+    """Online-serving failure: a request the server rejected, a reply
+    that never arrived, or a protocol violation on the serve plane."""

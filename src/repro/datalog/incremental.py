@@ -65,10 +65,14 @@ def propagate_deletions_from(strata: list, db: Database, context: EvalContext,
         if stratum.nonmonotone:
             added, removed = recompute_stratum(stratum, db, context, edb_facts,
                                                provenance, stats)
+            if stats is not None:
+                stats.strata_recomputed += 1
         else:
             added, removed = _dred_stratum(stratum, db, context,
                                            pending_removed, edb_facts,
                                            provenance, stats)
+            if stats is not None:
+                stats.dred_strata += 1
         for pred, facts in removed.items():
             pending_removed.setdefault(pred, set()).update(facts)
             net_removed.setdefault(pred, set()).update(facts)

@@ -18,7 +18,7 @@ lengths, giving benchmarks a representation-independent traffic measure.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Optional
 
 from ..datalog.errors import NetworkError
 from ..datalog.parser import parse_statements, parse_term
@@ -152,7 +152,10 @@ def decode_batch_message(blob: bytes, registry) -> tuple[int, list]:
     """Decode a batch message: ``(round_stamp, [(to, pred, fact), ...])``.
 
     Single-fact messages (no ``batch`` key) decode as a one-item batch
-    with round stamp 0, so mixed traffic stays readable.
+    with round stamp 0, so mixed traffic stays readable.  Serve-plane
+    frames (the request/reply kind below) are rejected loudly: a request
+    arriving on a delta-exchange path is a routing bug, and decoding it
+    as a corrupt fact would silently swallow the client's call.
     """
     try:
         payload = json.loads(blob.decode("utf-8"))
@@ -160,6 +163,9 @@ def decode_batch_message(blob: bytes, registry) -> tuple[int, list]:
         raise NetworkError(f"undecodable message: {exc}") from exc
     if not isinstance(payload, dict):
         raise NetworkError("malformed message payload")
+    if payload.get("kind") in (REQUEST_KIND, REPLY_KIND):
+        raise NetworkError(
+            f"serve-plane {payload['kind']} frame in batch traffic")
     batch = payload.get("batch")
     if batch is None:
         return 0, [_decode_item(payload, registry)]
@@ -167,3 +173,95 @@ def decode_batch_message(blob: bytes, registry) -> tuple[int, list]:
     if not isinstance(batch, list) or not isinstance(round_stamp, int):
         raise NetworkError("malformed batch payload")
     return round_stamp, [_decode_item(item, registry) for item in batch]
+
+
+# ---------------------------------------------------------------------------
+# Request/reply frames (the serve plane, next to the batch frames above)
+# ---------------------------------------------------------------------------
+#
+# The online authorization service (repro.serve) exchanges point requests
+# and their replies over the same transports the delta exchange uses —
+# length-prefixed TCP frames on SocketNetwork, virtual-clock envelopes on
+# SimulatedNetwork — so per-link FIFO ordering covers serve traffic for
+# free.  A frame is a JSON object tagged with ``kind`` ("request" or
+# "reply"); batch envelopes have no ``kind`` key, so the two families can
+# never be confused (frame_kind classifies, decode_batch_message rejects).
+
+REQUEST_KIND = "request"
+REPLY_KIND = "reply"
+
+
+def frame_kind(blob: bytes) -> str:
+    """Classify a wire frame: ``request`` / ``reply`` / ``batch`` / ``fact``.
+
+    Raises :class:`NetworkError` for frames that are not JSON objects or
+    that carry an unknown ``kind`` tag.
+    """
+    try:
+        payload = json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise NetworkError(f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise NetworkError("malformed frame payload")
+    kind = payload.get("kind")
+    if kind is None:
+        return "batch" if "batch" in payload else "fact"
+    if kind in (REQUEST_KIND, REPLY_KIND):
+        return kind
+    raise NetworkError(f"unknown frame kind {kind!r}")
+
+
+def encode_request_frame(request_id: int, op: str,
+                         body: Optional[dict] = None) -> bytes:
+    """Serialize one serve-plane request: an operation plus its body.
+
+    ``body`` must already be JSON-safe — fact values travel through
+    :func:`encode_value` at the serve layer, which owns the registry.
+    """
+    payload = {"kind": REQUEST_KIND, "id": int(request_id), "op": op,
+               "body": body if body is not None else {}}
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def decode_request_frame(blob: bytes) -> tuple[int, str, dict]:
+    """Decode a request frame: ``(request_id, op, body)``."""
+    payload = _decode_serve_frame(blob, REQUEST_KIND)
+    op = payload.get("op")
+    body = payload.get("body")
+    if not isinstance(op, str) or not isinstance(body, dict):
+        raise NetworkError("malformed request frame")
+    return payload["id"], op, body
+
+
+def encode_reply_frame(request_id: int, ok: bool = True,
+                       body: Optional[dict] = None, error: str = "") -> bytes:
+    """Serialize one serve-plane reply, echoing the request's id."""
+    payload = {"kind": REPLY_KIND, "id": int(request_id), "ok": bool(ok),
+               "body": body if body is not None else {}, "error": error}
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def decode_reply_frame(blob: bytes) -> tuple[int, bool, dict, str]:
+    """Decode a reply frame: ``(request_id, ok, body, error)``."""
+    payload = _decode_serve_frame(blob, REPLY_KIND)
+    ok = payload.get("ok")
+    body = payload.get("body")
+    error = payload.get("error", "")
+    if not isinstance(ok, bool) or not isinstance(body, dict) \
+            or not isinstance(error, str):
+        raise NetworkError("malformed reply frame")
+    return payload["id"], ok, body, error
+
+
+def _decode_serve_frame(blob: bytes, expected_kind: str) -> dict:
+    try:
+        payload = json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise NetworkError(f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict) \
+            or payload.get("kind") != expected_kind:
+        raise NetworkError(f"expected a {expected_kind} frame")
+    request_id = payload.get("id")
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise NetworkError(f"malformed {expected_kind} frame id")
+    return payload

@@ -1,0 +1,36 @@
+"""Latency accounting shared by ``repro serve`` and the benchmark driver.
+
+Percentiles use linear interpolation between closest ranks (the numpy
+default), so p50 of an even-length sample is the midpoint average — small
+smoke runs get stable numbers instead of rank-truncation jitter.
+"""
+
+from __future__ import annotations
+
+
+def percentile(values, fraction: float) -> float:
+    """The ``fraction``-quantile (0..1) of ``values``, interpolated."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = fraction * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+def latency_summary(latencies: list, elapsed: float = 0.0) -> dict:
+    """Summarize per-request wall latencies (seconds) into the metric
+    shape the artifact schema carries: milliseconds + achieved QPS."""
+    count = len(latencies)
+    return {
+        "requests": count,
+        "p50_ms": percentile(latencies, 0.50) * 1000.0,
+        "p99_ms": percentile(latencies, 0.99) * 1000.0,
+        "max_ms": (max(latencies) * 1000.0) if latencies else 0.0,
+        "mean_ms": (sum(latencies) / count * 1000.0) if count else 0.0,
+        "qps": (count / elapsed) if elapsed > 0 else 0.0,
+    }

@@ -1,0 +1,186 @@
+"""The online authorization server.
+
+:class:`TrustServer` wraps a long-lived :class:`~repro.core.system.LBTrustSystem`
+and answers serve-plane frames (:mod:`repro.net.transport` request/reply
+kind) over any transport with the standard duck type:
+
+* **updates** (``assert`` / ``retract`` / ``load``) run through the
+  workspace transaction machinery — semi-naive insertion deltas and DRed
+  deletions — so each update is incremental maintenance, never a
+  from-scratch fixpoint;
+* **queries** (``query``) go through :meth:`Workspace.point_query`, which
+  serves bound queries from the cached magic-sets program on a COW
+  overlay — repeated query shapes reuse the rewrite
+  (``EvalStats.magic_cache_hits``) instead of replanning.
+
+The server is deliberately transport-agnostic: :meth:`handle` consumes one
+frame and sends one reply.  For real sockets, :meth:`serve_forever` polls
+``network.receive``; for a shared in-process network (simulated or
+loopback sockets), a :class:`~repro.serve.client.ServeRouter` pumps
+``deliver_next`` and calls :meth:`handle` directly.  The serve plane uses
+its own network instance, separate from the system's delta-exchange
+network, so request frames can never be misread as batch traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..datalog.errors import NetworkError, ReproError, ServeError
+from ..net.transport import (
+    decode_request_frame,
+    decode_value,
+    encode_reply_frame,
+    encode_value,
+    frame_kind,
+)
+
+#: Operations the server understands, for help texts and tests.
+SERVE_OPS = ("hello", "ping", "assert", "retract", "load", "query",
+             "sync", "stats", "shutdown")
+
+
+class TrustServer:
+    """Serve point updates and authorization queries for one system.
+
+    ``network`` is the serve-plane transport (NOT ``system.network``, which
+    carries the delta exchange).  ``node`` is the server's address on it.
+    """
+
+    def __init__(self, system, network, node: str = "server",
+                 poll_interval: float = 0.05) -> None:
+        self.system = system
+        self.network = network
+        self.node = node
+        self.poll_interval = poll_interval
+        self.requests_served = 0
+        self._stopping = False
+        if node not in network.nodes():
+            network.add_node(node)
+
+    # -- frame entry point -------------------------------------------------
+
+    def handle(self, src: str, blob: bytes) -> str:
+        """Process one request frame from ``src`` and send the reply.
+
+        Returns the operation name (used by drivers for accounting).
+        Application failures travel back as ``ok=False`` replies; only a
+        frame that is not a request at all raises here.
+        """
+        if frame_kind(blob) != "request":
+            raise NetworkError("serve plane received a non-request frame")
+        request_id, op, body = decode_request_frame(blob)
+        try:
+            reply_body = self._dispatch(src, op, body)
+            frame = encode_reply_frame(request_id, True, reply_body)
+        except ReproError as exc:
+            frame = encode_reply_frame(request_id, False, {}, str(exc))
+        self.network.send(self.node, src, frame)
+        self.requests_served += 1
+        return op
+
+    def serve_forever(self, max_requests: Optional[int] = None) -> int:
+        """Blocking receive loop for socket transports.
+
+        Runs until a ``shutdown`` request arrives (or ``max_requests``
+        frames were served); returns the number of requests handled.
+        """
+        served = 0
+        while not self._stopping:
+            item = self.network.receive(timeout=self.poll_interval)
+            if item is None:
+                continue
+            src, dst, blob = item
+            if dst != self.node:  # pragma: no cover - misrouted frame
+                continue
+            self.handle(src, blob)
+            served += 1
+            if max_requests is not None and served >= max_requests:
+                break
+        return served
+
+    def stop(self) -> None:
+        self._stopping = True
+
+    @property
+    def stopping(self) -> bool:
+        return self._stopping
+
+    # -- operations --------------------------------------------------------
+
+    def _dispatch(self, src: str, op: str, body: dict) -> dict:
+        if op == "hello":
+            return self._op_hello(src, body)
+        if op == "ping":
+            clock = self.network.clock  # method on sockets, float simulated
+            return {"clock": clock() if callable(clock) else clock}
+        if op == "assert":
+            principal, pred, fact = self._update_args(body)
+            principal.assert_fact(pred, fact)
+            return {}
+        if op == "retract":
+            principal, pred, fact = self._update_args(body)
+            principal.retract_fact(pred, fact)
+            return {}
+        if op == "load":
+            principal = self._principal(body)
+            source = body.get("source")
+            if not isinstance(source, str):
+                raise ServeError("load needs a source string")
+            principal.load(source)
+            return {}
+        if op == "query":
+            return self._op_query(body)
+        if op == "sync":
+            report = self.system.run(max_rounds=int(body.get("max_rounds", 100)))
+            return {"rounds": report.rounds, "delivered": report.delivered,
+                    "rejected": report.rejected}
+        if op == "stats":
+            stats = self._principal(body).workspace.stats
+            return {"stats": stats.as_dict()}
+        if op == "shutdown":
+            self._stopping = True
+            return {}
+        raise ServeError(f"unknown serve operation {op!r}")
+
+    def _op_hello(self, src: str, body: dict) -> dict:
+        """Register the caller; a socket client advertises its listener so
+        replies can be routed back (the cluster rendezvous idiom)."""
+        host = body.get("host")
+        port = body.get("port")
+        if isinstance(host, str) and isinstance(port, int) \
+                and hasattr(self.network, "add_remote") \
+                and src not in self.network.nodes():
+            self.network.add_remote(src, host, port)
+        return {"node": self.node,
+                "principals": sorted(self.system.principals)}
+
+    def _op_query(self, body: dict) -> dict:
+        workspace = self._principal(body).workspace
+        source = body.get("query")
+        if not isinstance(source, str):
+            raise ServeError("query needs an atom string")
+        answers = workspace.point_query(source)
+        registry = self.system.registry
+        encoded = [[encode_value(value, registry) for value in fact]
+                   for fact in sorted(answers, key=repr)]
+        return {"answers": encoded}
+
+    def _principal(self, body: dict):
+        name = body.get("principal")
+        if not isinstance(name, str) or not name:
+            raise ServeError("request body names no principal")
+        return self.system.principal(name)
+
+    def _update_args(self, body: dict) -> tuple:
+        principal = self._principal(body)
+        pred = body.get("pred")
+        fact = body.get("fact")
+        if not isinstance(pred, str) or not isinstance(fact, list):
+            raise ServeError("update needs a pred and a fact list")
+        registry = self.system.registry
+        return principal, pred, tuple(decode_value(v, registry) for v in fact)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TrustServer(node={self.node!r}, "
+                f"served={self.requests_served})")

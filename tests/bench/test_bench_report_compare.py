@@ -19,7 +19,7 @@ from repro.bench.compare import format_comparison
 from repro.bench.report import make_artifact
 
 
-def build_artifact(clean, name="w", best=0.001, params=None):
+def build_artifact(clean, name="w", best=0.001, params=None, metrics=None):
     @benchmark(name, warmup=0, repeats=1, quick=[dict(params or {"n": 1})])
     def w(case, **kw):
         with case.measure():
@@ -28,6 +28,8 @@ def build_artifact(clean, name="w", best=0.001, params=None):
     workload = get(name)
     measurement = time_workload(workload, workload.quick[0])
     measurement.timings = [best]
+    if metrics:
+        measurement.metrics = dict(metrics)
     return make_artifact(workload, "quick", [measurement])
 
 
@@ -105,3 +107,57 @@ class TestCompare:
                 "b": build_artifact(clean_registry, "b")}
         comparison = compare_artifacts(base, dict(base), filter_names={"a"})
         assert [d.name for d in comparison.deltas] == ["a"]
+
+
+class TestGatedMetrics:
+    """serve_latency points are gated on recorded p99_ms, not just wall
+    time: a steady total with a doubled tail must still fail the gate."""
+
+    def serve_artifact(self, clean, best, p99):
+        return build_artifact(clean, "serve_latency", best=best,
+                              metrics={"p99_ms": p99, "qps": 1000.0})
+
+    def test_metric_delta_emitted_alongside_timing(self, clean_registry):
+        base = {"serve_latency": self.serve_artifact(clean_registry,
+                                                     0.100, 2.0)}
+        cur = {"serve_latency": self.serve_artifact(clean_registry,
+                                                    0.100, 2.0)}
+        comparison = compare_artifacts(base, cur)
+        metrics = sorted(d.metric for d in comparison.deltas)
+        assert metrics == ["best", "p99_ms"]
+        assert comparison.regressions(0.5) == []
+
+    def test_p99_regression_fails_even_when_timing_holds(self,
+                                                         clean_registry):
+        base = {"serve_latency": self.serve_artifact(clean_registry,
+                                                     0.100, 2.0)}
+        cur = {"serve_latency": self.serve_artifact(clean_registry,
+                                                    0.100, 4.0)}
+        regressions = compare_artifacts(base, cur).regressions(0.5)
+        assert [d.metric for d in regressions] == ["p99_ms"]
+        assert regressions[0].ratio == pytest.approx(2.0)
+        text = format_comparison(compare_artifacts(base, cur), 0.5)
+        assert "REGRESSION" in text and "p99_ms" in text
+
+    def test_p99_within_threshold_passes(self, clean_registry):
+        base = {"serve_latency": self.serve_artifact(clean_registry,
+                                                     0.100, 2.0)}
+        cur = {"serve_latency": self.serve_artifact(clean_registry,
+                                                    0.100, 2.8)}
+        assert compare_artifacts(base, cur).regressions(0.5) == []
+
+    def test_missing_metric_in_baseline_is_skipped(self, clean_registry):
+        base = {"serve_latency": build_artifact(clean_registry,
+                                                "serve_latency")}
+        cur = {"serve_latency": self.serve_artifact(clean_registry,
+                                                    0.001, 2.0)}
+        comparison = compare_artifacts(base, cur)
+        assert [d.metric for d in comparison.deltas] == ["best"]
+
+    def test_ungated_workloads_diff_timing_only(self, clean_registry):
+        base = {"w": build_artifact(clean_registry,
+                                    metrics={"p99_ms": 1.0})}
+        cur = {"w": build_artifact(clean_registry,
+                                   metrics={"p99_ms": 99.0})}
+        comparison = compare_artifacts(base, cur)
+        assert [d.metric for d in comparison.deltas] == ["best"]

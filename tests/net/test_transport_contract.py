@@ -12,6 +12,13 @@ import pytest
 
 from repro.datalog.errors import NetworkError
 from repro.net import SimulatedNetwork, SocketNetwork
+from repro.net.transport import (
+    decode_reply_frame,
+    decode_request_frame,
+    encode_reply_frame,
+    encode_request_frame,
+    frame_kind,
+)
 
 
 @pytest.fixture(params=["simulated", "socket"])
@@ -146,3 +153,43 @@ class TestClock:
         abc.send("a", "b", b"x")
         abc.deliver_all()
         assert abc.clock >= before
+
+
+class TestServeFrames:
+    """Serve-plane request/reply frames ride the same transports as the
+    delta exchange — framing, FIFO and classification must hold on both."""
+
+    def test_request_frame_roundtrip(self, abc):
+        abc.send("a", "b", encode_request_frame(7, "query", {"q": "p(X)"}))
+        src, dst, blob = abc.deliver_next()
+        assert (src, dst) == ("a", "b")
+        assert frame_kind(blob) == "request"
+        assert decode_request_frame(blob) == (7, "query", {"q": "p(X)"})
+
+    def test_reply_frame_roundtrip(self, abc):
+        abc.send("b", "a", encode_reply_frame(7, True, {"answers": []}))
+        src, dst, blob = abc.deliver_next()
+        assert (src, dst) == ("b", "a")
+        assert frame_kind(blob) == "reply"
+        assert decode_reply_frame(blob) == (7, True, {"answers": []}, "")
+
+    def test_error_reply_carries_the_message(self, abc):
+        abc.send("b", "a", encode_reply_frame(9, False, error="nope"))
+        _, _, blob = abc.deliver_next()
+        assert decode_reply_frame(blob) == (9, False, {}, "nope")
+
+    def test_request_reply_fifo_per_link(self, abc):
+        # a request conversation interleaved with opaque batch traffic on
+        # the same link keeps its order — the client relies on this to
+        # match replies by id without a reorder buffer
+        abc.send("a", "b", encode_request_frame(1, "ping"))
+        abc.send("a", "b", b'{"round":0,"batch":[]}')
+        abc.send("a", "b", encode_request_frame(2, "ping"))
+        kinds = [frame_kind(p) for _, _, p in abc.deliver_all()]
+        assert kinds == ["request", "batch", "request"]
+
+    def test_reply_ids_preserve_send_order(self, abc):
+        for request_id in (3, 1, 2):
+            abc.send("b", "a", encode_reply_frame(request_id))
+        ids = [decode_reply_frame(p)[0] for _, _, p in abc.deliver_all()]
+        assert ids == [3, 1, 2]

@@ -28,10 +28,15 @@ from repro.datalog.terms import (
 from repro.meta.registry import RuleRegistry
 from repro.net.transport import (
     decode_batch_message,
+    decode_reply_frame,
+    decode_request_frame,
     decode_value,
     encode_batch_item,
     encode_batch_message,
+    encode_reply_frame,
+    encode_request_frame,
     encode_value,
+    frame_kind,
 )
 
 # -- strategies -------------------------------------------------------------
@@ -172,3 +177,83 @@ class TestBatchRoundtrip:
         decoded_stamp, decoded = decode_batch_message(blob, registry)
         assert decoded_stamp == round_stamp
         assert decoded == [("x", pred, fact) for pred, fact in facts]
+
+
+# JSON-safe request/reply bodies: the serve layer runs fact values through
+# encode_value before they reach the frame codec, so the frame property
+# quantifies over arbitrary JSON objects, not tagged values.
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 53), max_value=2 ** 53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=30),
+)
+json_bodies = st.dictionaries(
+    st.text(max_size=12),
+    st.recursive(
+        json_scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=3),
+            st.dictionaries(st.text(max_size=8), children, max_size=3),
+        ),
+        max_leaves=10,
+    ),
+    max_size=4,
+)
+
+request_ids = st.integers(min_value=0, max_value=2 ** 62)
+
+
+class TestServeFrameRoundtrip:
+    @given(request_id=request_ids,
+           op=st.from_regex(r"[a-z][a-z_]{0,15}", fullmatch=True),
+           body=json_bodies)
+    @settings(max_examples=150, deadline=None)
+    def test_request_frames_roundtrip(self, request_id, op, body):
+        blob = encode_request_frame(request_id, op, body)
+        assert frame_kind(blob) == "request"
+        decoded_id, decoded_op, decoded_body = decode_request_frame(blob)
+        assert decoded_id == request_id
+        assert decoded_op == op
+        assert decoded_body == body
+
+    @given(request_id=request_ids, ok=st.booleans(), body=json_bodies,
+           error=st.text(max_size=40))
+    @settings(max_examples=150, deadline=None)
+    def test_reply_frames_roundtrip(self, request_id, ok, body, error):
+        blob = encode_reply_frame(request_id, ok, body, error)
+        assert frame_kind(blob) == "reply"
+        decoded = decode_reply_frame(blob)
+        assert decoded == (request_id, ok, body, error)
+
+    @given(request_id=request_ids, op=st.just("query"), body=json_bodies)
+    @settings(max_examples=50, deadline=None)
+    def test_serve_frames_rejected_as_batch_traffic(self, request_id, op,
+                                                    body):
+        from repro.datalog.errors import NetworkError
+        import pytest
+
+        registry = RuleRegistry()
+        for blob in (encode_request_frame(request_id, op, body),
+                     encode_reply_frame(request_id, True, body)):
+            with pytest.raises(NetworkError):
+                decode_batch_message(blob, registry)
+
+    @given(request_id=request_ids, ok=st.booleans(), body=json_bodies)
+    @settings(max_examples=50, deadline=None)
+    def test_frame_families_never_cross_decode(self, request_id, ok, body):
+        from repro.datalog.errors import NetworkError
+        import pytest
+
+        reply = encode_reply_frame(request_id, ok, body)
+        request = encode_request_frame(request_id, "ping", body)
+        with pytest.raises(NetworkError):
+            decode_request_frame(reply)
+        with pytest.raises(NetworkError):
+            decode_reply_frame(request)
+
+    def test_batch_frames_classified(self):
+        registry = RuleRegistry()
+        items = [encode_batch_item("p", (1,), registry, to="x")]
+        assert frame_kind(encode_batch_message(items, 3)) == "batch"

@@ -1,0 +1,217 @@
+"""The online authorization service, end to end over both transports.
+
+The serving contract: every answer the server returns is bit-identical
+to a batch fixpoint read of the same workspace, while updates stream in
+between queries.  A reference ``LBTrustSystem`` applies the identical
+update script directly; after every step the served answer must equal
+the reference's filtered fixpoint read — over the in-process simulated
+network and over real TCP sockets.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.system import LBTrustSystem
+from repro.datalog.errors import ServeError
+from repro.net.network import SimulatedNetwork
+from repro.net.socket_transport import SocketNetwork
+from repro.serve import SERVE_OPS, ServeClient, ServeRouter, TrustServer
+
+POLICY = """
+object("f1"). object("f2").
+access(P,O,"read") <- good(P), object(O).
+"""
+
+
+def build_system():
+    system = LBTrustSystem(auth="plaintext", seed=7)
+    system.create_principal("srv").load(POLICY)
+    return system
+
+
+class ServeHarness:
+    """One server plus client factory, over either transport."""
+
+    def __init__(self, transport):
+        self.transport = transport
+        self.system = build_system()
+        self._client_nets = []
+        if transport == "simulated":
+            self.network = SimulatedNetwork()
+            self.server = TrustServer(self.system, self.network)
+            self.router = ServeRouter(self.network, self.server)
+            self.thread = None
+        else:
+            self.network = SocketNetwork()
+            self.server = TrustServer(self.system, self.network,
+                                      poll_interval=0.01)
+            self.router = None
+            self.thread = threading.Thread(target=self.server.serve_forever,
+                                           daemon=True)
+            self.thread.start()
+
+    def client(self, name):
+        if self.transport == "simulated":
+            client = ServeClient(self.network, name, router=self.router,
+                                 timeout=10.0)
+            client.connect()
+            return client
+        net = SocketNetwork()
+        self._client_nets.append(net)
+        client = ServeClient(net, name, timeout=10.0)
+        client.connect(server_host="127.0.0.1",
+                       server_port=self.network.port_of(self.server.node))
+        return client
+
+    def close(self, shutdown_via=None):
+        if self.thread is not None:
+            if shutdown_via is not None and not self.server.stopping:
+                shutdown_via.shutdown()
+            self.server.stop()
+            self.thread.join(timeout=10.0)
+        for net in self._client_nets:
+            net.close()
+        if self.transport == "socket":
+            self.network.close()
+
+
+@pytest.fixture(params=["simulated", "socket"])
+def harness(request):
+    h = ServeHarness(request.param)
+    try:
+        yield h
+    finally:
+        h.close()
+
+
+def reference_read(principal, pred, pattern):
+    return {fact for fact in principal.tuples(pred)
+            if all(want is None or have == want
+                   for have, want in zip(fact, pattern))}
+
+
+class TestServedAnswersMatchBatch:
+    def test_interleaved_updates_and_queries(self, harness):
+        client = harness.client("c1")
+        reference = build_system().principal("srv")
+        subjects = ["alice", "bob", "carol", "dave"]
+        for step, subject in enumerate(subjects):
+            client.assert_fact("good", (subject,))
+            reference.assert_fact("good", (subject,))
+            for probe in subjects[:step + 1]:
+                served = set(client.query(f'access("{probe}",O,"read")'))
+                assert served == reference_read(
+                    reference, "access", (probe, None, "read"))
+            if step % 2 == 1:
+                client.retract_fact("good", (subject,))
+                reference.retract_fact("good", (subject,))
+                served = set(client.query(f'access("{subject}",O,"read")'))
+                assert served == reference_read(
+                    reference, "access", (subject, None, "read"))
+
+    def test_non_string_values_cross_the_wire(self, harness):
+        client = harness.client("c1")
+        client.load("big(N) <- num(N), N > 10.")
+        client.assert_fact("num", (7,))
+        client.assert_fact("num", (25,))
+        assert set(client.query("big(N)")) == {(25,)}
+        assert set(client.query("num(N)")) == {(7,), (25,)}
+
+    def test_unbound_query_reads_full_relation(self, harness):
+        client = harness.client("c1")
+        client.assert_fact("good", ("alice",))
+        served = set(client.query("access(P,O,M)"))
+        assert served == {("alice", "f1", "read"), ("alice", "f2", "read")}
+
+
+class TestMaintenanceCounters:
+    def test_updates_are_incremental_queries_hit_cache(self, harness):
+        client = harness.client("c1")
+        client.assert_fact("good", ("alice",))
+        client.query('access("alice",O,"read")')  # builds the program
+        before = client.stats()
+        for subject in ("bob", "carol"):
+            client.assert_fact("good", (subject,))
+            client.query(f'access("{subject}",O,"read")')
+        client.retract_fact("good", ("bob",))
+        client.query('access("bob",O,"read")')
+        after = client.stats()
+        assert after["full_recomputes"] == before["full_recomputes"]
+        assert after["dred_strata"] > before["dred_strata"]
+        assert after["magic_cache_hits"] >= before["magic_cache_hits"] + 3
+        assert after["magic_programs_built"] == before["magic_programs_built"]
+
+
+class TestProtocol:
+    def test_hello_lists_principals(self, harness):
+        client = harness.client("c1")
+        body = client.call("hello", {"client": "c1"})
+        assert body == {"node": "server", "principals": ["srv"]}
+
+    def test_ping_returns_a_clock(self, harness):
+        client = harness.client("c1")
+        assert isinstance(client.ping(), float)
+
+    def test_error_reply_keeps_the_server_alive(self, harness):
+        client = harness.client("c1")
+        with pytest.raises(ServeError, match="unknown principal"):
+            client.query("p(X)", principal="nobody")
+        with pytest.raises(ServeError):
+            client.call("frobnicate")
+        with pytest.raises(ServeError):  # retracting a never-asserted fact
+            client.retract_fact("good", ("ghost",))
+        client.assert_fact("good", ("alice",))  # still serving
+        assert len(client.query('access("alice",O,"read")')) == 2
+
+    def test_request_ids_match_in_order(self, harness):
+        client = harness.client("c1")
+        for _ in range(5):
+            client.ping()
+        assert client.requests_sent >= 5
+
+    def test_sync_runs_the_exchange(self, harness):
+        client = harness.client("c1")
+        body = client.sync(max_rounds=5)
+        assert set(body) == {"rounds", "delivered", "rejected"}
+
+    def test_shutdown_is_clean(self, harness):
+        client = harness.client("c1")
+        client.shutdown()
+        assert harness.server.stopping
+        harness.close()
+        if harness.thread is not None:
+            assert not harness.thread.is_alive()
+
+    def test_ops_catalog_is_complete(self):
+        assert set(SERVE_OPS) == {"hello", "ping", "assert", "retract",
+                                  "load", "query", "sync", "stats",
+                                  "shutdown"}
+
+
+class TestRouter:
+    def test_multiple_clients_share_one_queue(self):
+        harness = ServeHarness("simulated")
+        try:
+            first = harness.client("c1")
+            second = harness.client("c2")
+            first.assert_fact("good", ("alice",))
+            # interleave: both clients issue queries; the router must park
+            # each reply in the right inbox even when deliveries for the
+            # other client come off the shared queue first
+            assert len(first.query('access("alice",O,"read")')) == 2
+            assert len(second.query('access("alice",O,"read")')) == 2
+            assert second.query('access("nobody",O,"read")') == []
+        finally:
+            harness.close()
+
+    def test_unknown_destination_is_loud(self):
+        harness = ServeHarness("simulated")
+        try:
+            client = harness.client("c1")
+            harness.network.add_node("stranger")
+            harness.network.send("server", "stranger", b"{}")
+            with pytest.raises(ServeError, match="unknown client"):
+                client.ping()
+        finally:
+            harness.close()

@@ -1,0 +1,140 @@
+"""Point queries: magic-served answers must equal fixpoint reads.
+
+``Workspace.point_query`` is the serving plane's read path.  Its contract
+is bit-identical answers to reading the incrementally maintained database
+(which is always at fixpoint) — whether it answered through the cached
+magic-sets rewrite or fell back to a direct read.
+"""
+
+import pytest
+
+from repro.datalog.errors import WorkspaceError
+from repro.workspace.workspace import Workspace
+
+POLICY = """
+object("f1"). object("f2").
+access(P,O,"read") <- good(P), object(O).
+reach(X,Y) <- edge(X,Y).
+reach(X,Z) <- reach(X,Y), edge(Y,Z).
+"""
+
+
+def fixpoint_read(workspace, pred, pattern):
+    """Reference answer: filter the full relation by the bound pattern."""
+    return {fact for fact in workspace.tuples(pred)
+            if all(want is None or have == want
+                   for have, want in zip(fact, pattern))}
+
+
+def build():
+    workspace = Workspace("srv")
+    workspace.load(POLICY)
+    workspace.assert_fact("good", ("alice",))
+    workspace.assert_fact("good", ("bob",))
+    for edge in [(1, 2), (2, 3), (3, 4), (2, 5)]:
+        workspace.assert_fact("edge", edge)
+    return workspace
+
+
+class TestAnswersMatchFixpoint:
+    def test_bound_derived_query(self):
+        workspace = build()
+        assert workspace.point_query('access("alice",O,"read")') == \
+            fixpoint_read(workspace, "access", ("alice", None, "read"))
+
+    def test_recursive_query(self):
+        workspace = build()
+        assert workspace.point_query("reach(1,Y)") == \
+            fixpoint_read(workspace, "reach", (1, None))
+
+    def test_unbound_query_reads_directly(self):
+        workspace = build()
+        assert workspace.point_query("access(P,O,M)") == \
+            workspace.tuples("access")
+
+    def test_edb_only_predicate(self):
+        workspace = build()
+        assert workspace.point_query('object("f1")') == {("f1",)}
+        assert workspace.point_query('object("nope")') == set()
+
+    def test_unknown_predicate_is_empty(self):
+        workspace = build()
+        assert workspace.point_query("nothing(X)") == set()
+
+    def test_atom_string_with_trailing_dot(self):
+        workspace = build()
+        assert workspace.point_query('access("bob",O,"read").') == \
+            fixpoint_read(workspace, "access", ("bob", None, "read"))
+
+    def test_non_atom_source_rejected(self):
+        workspace = build()
+        with pytest.raises(WorkspaceError):
+            workspace.point_query("a(X) <- b(X)")
+
+    def test_me_resolves_to_the_owner(self):
+        workspace = Workspace("alice")
+        workspace.load("mine(X) <- owns(me,X).")
+        workspace.assert_fact("owns", ("alice", "f1"))
+        assert workspace.point_query("mine(X)") == {("f1",)}
+
+    def test_mixed_edb_and_derived_head(self):
+        # a head predicate can also hold directly asserted facts; the
+        # adorned program alone would miss them
+        workspace = build()
+        workspace.assert_fact("access", ("eve", "f9", "read"))
+        assert workspace.point_query('access("eve",O,"read")') == \
+            {("eve", "f9", "read")}
+        assert workspace.point_query('access("alice",O,"read")') == \
+            fixpoint_read(workspace, "access", ("alice", None, "read"))
+
+    def test_negation_falls_back_to_direct_read(self):
+        workspace = Workspace("w")
+        workspace.load("""
+            person("a"). person("b"). banned("b").
+            allowed(X) <- person(X), !banned(X).
+        """)
+        assert workspace.point_query('allowed("a")') == {("a",)}
+        assert workspace.point_query('allowed("b")') == set()
+
+    def test_tracks_incremental_updates(self):
+        workspace = build()
+        query = 'access("alice",O,"read")'
+        assert len(workspace.point_query(query)) == 2
+        workspace.assert_fact("object", ("f3",))
+        assert workspace.point_query(query) == \
+            fixpoint_read(workspace, "access", ("alice", None, "read"))
+        workspace.retract_facts("good", [("alice",)])
+        assert workspace.point_query(query) == set()
+
+
+class TestServingCounters:
+    def test_repeated_shapes_hit_the_magic_cache(self):
+        workspace = build()
+        workspace.point_query('access("alice",O,"read")')  # builds
+        before = workspace.stats.copy()
+        for name in ("alice", "bob", "alice"):
+            workspace.point_query(f'access("{name}",O,"read")')
+        delta = workspace.stats.diff(before)
+        assert delta.magic_programs_built == 0
+        assert delta.magic_cache_hits == 3
+
+    def test_retraction_uses_dred_not_full_recompute(self):
+        workspace = build()
+        before = workspace.stats.copy()
+        workspace.retract_facts("good", [("alice",)])
+        delta = workspace.stats.diff(before)
+        assert delta.dred_strata > 0
+        assert delta.full_recomputes == 0
+
+    def test_nonmonotone_stratum_recompute_counted(self):
+        workspace = Workspace("w")
+        workspace.load("""
+            person("a"). person("b"). banned("b").
+            allowed(X) <- person(X), !banned(X).
+        """)
+        before = workspace.stats.copy()
+        workspace.retract_facts("banned", [("b",)])
+        delta = workspace.stats.diff(before)
+        assert delta.strata_recomputed > 0
+        assert delta.full_recomputes == 0
+        assert workspace.tuples("allowed") == {("a",), ("b",)}
