@@ -1,0 +1,51 @@
+"""Static program analysis for LBTrust programs (``repro check``).
+
+A unified diagnostic framework over parsed programs: stable codes
+(``R001``…), severities, and ``file:line:col`` source spans, produced by
+a pipeline of passes that reuse the engine's own safety, stratification,
+catalog, and placement machinery.  Surfaced three ways: the ``repro
+check`` CLI, the :meth:`Workspace.load` / :meth:`Cluster.load` gates, and
+the serve plane's ``load`` operation.
+"""
+
+from .diagnostics import (
+    CODES,
+    SCHEMA,
+    Diagnostic,
+    dumps_report,
+    failed,
+    render_text,
+    report_from_json,
+    report_to_json,
+    summarize,
+)
+from .pipeline import (
+    DEFAULT_PASSES,
+    GATE_PASSES,
+    AnalysisContext,
+    analyze_source,
+    analyze_statements,
+    detect_dialect,
+    raise_for_errors,
+    run_passes,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "CODES",
+    "DEFAULT_PASSES",
+    "Diagnostic",
+    "GATE_PASSES",
+    "SCHEMA",
+    "analyze_source",
+    "analyze_statements",
+    "detect_dialect",
+    "dumps_report",
+    "failed",
+    "raise_for_errors",
+    "render_text",
+    "report_from_json",
+    "report_to_json",
+    "run_passes",
+    "summarize",
+]

@@ -1,0 +1,274 @@
+"""``repro check`` — static analysis over program files and paper listings.
+
+Examples::
+
+    repro check examples/sendlog_routing.py
+    repro check --strict --format json program.dl
+    repro check --paper-listings --strict
+    repro check --nodes 4 --partition link=0 --replicate cost program.dl
+
+Inputs are either program files (any extension; the surface dialect —
+core Datalog, Binder, SeNDlog — is auto-detected per program, or forced
+with ``--dialect``) or ``.py`` files, from which embedded programs are
+extracted: module-level ``ALL_CAPS = \"...\"`` string assignments and
+string arguments to ``load`` / ``says`` / ``install_sendlog`` /
+``add_rule`` / ``add_constraint`` calls.  Diagnostics from embedded
+programs are relocated so they point into the ``.py`` file itself.
+
+``--nodes N`` (with optional ``--partition PRED[=COL]`` / ``--replicate
+PRED`` placements) additionally dry-runs the cluster placement checks —
+without constructing a cluster.
+
+Exit status: 0 when the report is clean (info findings never fail, and
+warnings only fail under ``--strict``), 1 when it is not, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, Optional, TextIO
+
+from .diagnostics import (
+    Diagnostic,
+    dumps_report,
+    failed,
+    render_text,
+    sort_key,
+)
+from .pipeline import DIALECTS, analyze_source, default_builtins
+
+#: Call targets whose string arguments are treated as embedded programs.
+_PROGRAM_CALLS = frozenset({
+    "load", "says", "install_sendlog", "add_rule", "add_constraint",
+})
+
+
+def looks_like_program(text: str) -> bool:
+    """Heuristic: is this Python string literal a Datalog-family program?"""
+    stripped = text.strip()
+    if "(" not in stripped:
+        return False
+    if any(arrow in stripped for arrow in ("<-", ":-", "->")):
+        return True
+    return stripped.endswith(".")
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def extract_programs(source: str) -> list[tuple[str, int, str]]:
+    """Embedded programs in a ``.py`` source: ``(label, line_offset, text)``.
+
+    ``line_offset`` relocates the program's internal line numbers onto the
+    embedding file (``shifted`` on the resulting diagnostics): line 1 of
+    the program text is the line the string literal starts on.
+    """
+    tree = ast.parse(source)
+    programs: list[tuple[str, int, str]] = []
+    seen: set[int] = set()
+
+    def add(label: str, node: ast.Constant) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        if isinstance(node.value, str) and looks_like_program(node.value):
+            programs.append((label, node.lineno - 1, node.value))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value,
+                                                       ast.Constant):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id.isupper():
+                    add(target.id, node.value)
+        elif isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in _PROGRAM_CALLS:
+                for arg in node.args:
+                    if isinstance(arg, ast.Constant):
+                        add(name, arg)
+    return programs
+
+
+def build_placement(nodes: int, partitions: Iterable[str],
+                    replicas: Iterable[str]):
+    """A :class:`~repro.cluster.partition.Partitioner` for the dry run."""
+    from ..cluster.partition import Partitioner
+
+    partitioner = Partitioner([f"n{i}" for i in range(nodes)])
+    for spec in partitions:
+        pred, _, column = spec.partition("=")
+        if not pred:
+            raise ValueError(f"bad --partition spec {spec!r}")
+        partitioner.hash_partition(pred, int(column) if column else 0)
+    for pred in replicas:
+        partitioner.replicate(pred)
+    return partitioner
+
+
+def check_python_file(path: Path, source: str, *, dialect: str,
+                      builtins=None, placement=None,
+                      passes=None) -> list[Diagnostic]:
+    """Analyze every embedded program of a ``.py`` file."""
+    diagnostics: list[Diagnostic] = []
+    try:
+        programs = extract_programs(source)
+    except SyntaxError as exc:
+        from ..datalog.terms import Span
+
+        span = Span(exc.lineno or 1, exc.offset or 1)
+        return [Diagnostic("R000", f"embedding file does not parse: "
+                           f"{exc.msg}", file=str(path), span=span)]
+    for _, offset, text in programs:
+        for diagnostic in analyze_source(text, dialect=dialect,
+                                         builtins=builtins,
+                                         placement=placement,
+                                         passes=passes):
+            diagnostics.append(diagnostic.shifted(offset, str(path)))
+    return diagnostics
+
+
+def check_file(path: Path, *, dialect: str = "auto", builtins=None,
+               placement=None, passes=None
+               ) -> tuple[list[Diagnostic], Optional[str]]:
+    """Analyze one file; returns (diagnostics, source-for-excerpts)."""
+    source = path.read_text(encoding="utf-8")
+    if path.suffix == ".py":
+        return (check_python_file(path, source, dialect=dialect,
+                                  builtins=builtins, placement=placement,
+                                  passes=passes), source)
+    return analyze_source(source, file=str(path), dialect=dialect,
+                          builtins=builtins, placement=placement,
+                          passes=passes), source
+
+
+def check_paper_listings(*, builtins=None, placement=None,
+                         passes=None) -> tuple[list[Diagnostic], dict]:
+    """Analyze the embedded paper-listing corpus."""
+    from .corpus import iter_corpus
+
+    diagnostics: list[Diagnostic] = []
+    sources: dict[str, str] = {}
+    for name, dialect, source in iter_corpus():
+        label = f"<listing {name}>"
+        sources[label] = source
+        diagnostics.extend(analyze_source(source, file=label,
+                                          dialect=dialect,
+                                          builtins=builtins,
+                                          placement=placement,
+                                          passes=passes))
+    return diagnostics, sources
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Static analysis for LBTrust programs "
+                    "(safety, stratification, types, dead code, "
+                    "attribution, placement)",
+    )
+    parser.add_argument("files", nargs="*", metavar="FILE",
+                        help="program files; .py files have embedded "
+                             "programs extracted")
+    parser.add_argument("--strict", action="store_true",
+                        help="warnings also fail (info findings never do)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="report rendering (default: text)")
+    parser.add_argument("--dialect", choices=DIALECTS, default="auto",
+                        help="surface syntax (default: auto-detect "
+                             "per program)")
+    parser.add_argument("--passes", metavar="NAMES",
+                        help="comma-separated pass subset (default: all)")
+    parser.add_argument("--paper-listings", action="store_true",
+                        help="also check the embedded paper-listing corpus")
+    parser.add_argument("--nodes", type=int, default=0, metavar="N",
+                        help="dry-run the placement checks for an N-node "
+                             "cluster")
+    parser.add_argument("--partition", action="append", default=[],
+                        metavar="PRED[=COL]",
+                        help="hash-partition PRED on column COL "
+                             "(default 0); repeatable")
+    parser.add_argument("--replicate", action="append", default=[],
+                        metavar="PRED", help="replicate PRED; repeatable")
+    return parser
+
+
+def main(argv: Optional[list] = None,
+         out: Optional[TextIO] = None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    try:
+        args = parser.parse_args(list(argv) if argv is not None else None)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    if not args.files and not args.paper_listings:
+        print("repro check: no input (give FILEs or --paper-listings)",
+              file=sys.stderr)
+        return 2
+    if (args.partition or args.replicate) and args.nodes <= 0:
+        print("repro check: --partition/--replicate need --nodes N",
+              file=sys.stderr)
+        return 2
+
+    passes = None
+    if args.passes:
+        passes = tuple(name.strip() for name in args.passes.split(",")
+                       if name.strip())
+    placement = None
+    if args.nodes > 0:
+        try:
+            placement = build_placement(args.nodes, args.partition,
+                                        args.replicate)
+        except ValueError as exc:
+            print(f"repro check: {exc}", file=sys.stderr)
+            return 2
+
+    builtins = default_builtins()
+    diagnostics: list[Diagnostic] = []
+    sources: dict[str, str] = {}
+    for name in args.files:
+        path = Path(name)
+        if not path.is_file():
+            print(f"repro check: no such file {name!r}", file=sys.stderr)
+            return 2
+        try:
+            file_diags, source = check_file(path, dialect=args.dialect,
+                                            builtins=builtins,
+                                            placement=placement,
+                                            passes=passes)
+        except ValueError as exc:  # unknown pass / dialect
+            print(f"repro check: {exc}", file=sys.stderr)
+            return 2
+        diagnostics.extend(file_diags)
+        if source is not None:
+            sources[str(path)] = source
+    if args.paper_listings:
+        try:
+            listing_diags, listing_sources = check_paper_listings(
+                builtins=builtins, placement=placement, passes=passes)
+        except ValueError as exc:
+            print(f"repro check: {exc}", file=sys.stderr)
+            return 2
+        diagnostics.extend(listing_diags)
+        sources.update(listing_sources)
+
+    diagnostics.sort(key=sort_key)
+    if args.fmt == "json":
+        print(dumps_report(diagnostics, strict=args.strict), file=out)
+    else:
+        print(render_text(diagnostics, sources), file=out)
+    return 1 if failed(diagnostics, strict=args.strict) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

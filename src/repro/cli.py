@@ -159,6 +159,11 @@ def main(argv: Optional[list] = None) -> int:
         # update+query session, self-checked answers, latency summary.
         from .serve.cli import main as serve_main
         return serve_main(argv[1:])
+    if argv and argv[0] == "check":
+        # `repro check ...` — the static program analyzer: safety,
+        # stratification, types, dead code, attribution, placement.
+        from .analysis.cli import main as check_main
+        return check_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Interactive LBTrust shell (CIDR 2009 reproduction); "
@@ -166,7 +171,8 @@ def main(argv: Optional[list] = None) -> int:
                     "`repro cluster --help` for the sharded-evaluation demo "
                     "(--transport socket --procs N deploys one OS process "
                     "per node), `repro serve --help` for the online "
-                    "authorization service",
+                    "authorization service, `repro check --help` for the "
+                    "static program analyzer",
     )
     parser.add_argument("--auth", default="hmac",
                         choices=["plaintext", "hmac", "rsa", "mixed"])

@@ -153,6 +153,8 @@ class Cluster:
         #: predicates the join-compatibility checker flipped to
         #: replicated placement (``on_incompatible="replicate"`` only)
         self.auto_replicated: list[str] = []
+        #: diagnostics from the most recent :meth:`load` static check.
+        self.last_check: list = []
         self.runtime = ExecutionRuntime(
             self.nodes, self.network, self.registry, mode=mode,
             max_batch_bytes=max_batch_bytes, ledger=self.ledger, strict=True)
@@ -206,11 +208,22 @@ class Cluster:
                 self.assert_fact(pred, values)
             return
         sample_builtins = next(iter(self.nodes.values())).context.builtins
+        # The same analyzer the workspace gate and `repro check` use:
+        # errors raise the engine's own exception types (SafetyError,
+        # StratificationError, WorkspaceError); warnings are kept.
+        from ..analysis.pipeline import (
+            GATE_PASSES,
+            analyze_statements,
+            raise_for_errors,
+        )
+        report = analyze_statements(statements, builtins=sample_builtins,
+                                    passes=GATE_PASSES)
+        raise_for_errors(report)
+        self.last_check = report
         engine_rules: list[EngineRule] = []
         for index, rule in enumerate(rules):
             compiled = compile_rule(rule, principal=None,
                                     builtins=sample_builtins)
-            check_rule_safety(compiled, sample_builtins)
             for engine_rule in normalize_rules([compiled]):
                 if engine_rule.label is None:
                     engine_rule.label = f"r{len(self._rules) + len(engine_rules)}"

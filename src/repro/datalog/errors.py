@@ -20,15 +20,37 @@ class ParseError(ReproError):
     """A syntax error in a Datalog / LBTrust source text.
 
     Carries the source position so front-ends can point at the offending
-    token.
+    token, and — when the parsing entry point knows the full source text —
+    the offending source line itself, rendered with a caret marker::
+
+        expected '.', '<-' or '->' after formula (at line 2, column 14)
+          p(X) <- q(X) r(X).
+                       ^
     """
 
-    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+    def __init__(self, message: str, line: int = 0, column: int = 0,
+                 source_line: str | None = None) -> None:
+        self.base_message = message
         self.line = line
         self.column = column
+        self.source_line = source_line
         if line:
             message = f"{message} (at line {line}, column {column})"
+        if source_line is not None and line:
+            caret = " " * max(self.column - 1, 0) + "^"
+            message = f"{message}\n  {source_line}\n  {caret}"
         super().__init__(message)
+
+    def with_source(self, source: str) -> "ParseError":
+        """Return a copy enriched with the offending source line (no-op if
+        the position is unknown or an excerpt is already attached)."""
+        if not self.line or self.source_line is not None:
+            return self
+        lines = source.splitlines()
+        if not 1 <= self.line <= len(lines):
+            return self
+        return ParseError(self.base_message, self.line, self.column,
+                          lines[self.line - 1])
 
 
 class SafetyError(ReproError):

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Iterable, Union
 
 from .errors import ParseError
-from .terms import BodyItem, BuiltinCall, Comparison, Literal
+from .terms import BuiltinCall, Comparison, Literal
 
 
 @dataclass(frozen=True)
@@ -94,9 +94,11 @@ def push_negations(formula: Formula, negate: bool = False) -> Formula:
     if not negate:
         return formula
     if isinstance(formula, Literal):
-        return Literal(formula.atom, negated=not formula.negated)
+        return Literal(formula.atom, negated=not formula.negated,
+                       span=formula.span)
     if isinstance(formula, Comparison):
-        return Comparison(_NEGATED_COMPARISON[formula.op], formula.left, formula.right)
+        return Comparison(_NEGATED_COMPARISON[formula.op], formula.left,
+                          formula.right, span=formula.span)
     raise ParseError(f"cannot negate {formula!r}")
 
 

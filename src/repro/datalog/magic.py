@@ -39,7 +39,6 @@ from .terms import (
     Literal,
     Rule,
     Term,
-    Variable,
 )
 
 

@@ -31,7 +31,7 @@ from typing import Optional
 
 from .errors import ParseError
 from .lexer import Token, tokenize
-from .logic import And, Formula, Not, Or, conj, disj, dnf_body, to_dnf
+from .logic import And, Formula, Not, conj, disj, dnf_body, to_dnf
 from .terms import (
     AGG_FUNCS,
     ME,
@@ -49,6 +49,7 @@ from .terms import (
     Quote,
     Rule,
     RulePattern,
+    Span,
     Star,
     StarLits,
     Statement,
@@ -109,24 +110,26 @@ class Parser:
         return program
 
     def parse_statement(self) -> list[Statement]:
+        start = self.peek()
+        span = Span(start.line, start.column)
         label = self._try_label()
         lhs = self.parse_formula()
         if self.at("."):
             self.advance()
-            return self._make_facts(lhs, label)
+            return self._make_facts(lhs, label, span)
         if self.at("<-"):
             self.advance()
             agg = self._try_aggregate()
             body = self.parse_formula()
             self.expect(".")
-            return self._make_rules(lhs, body, agg, label)
+            return self._make_rules(lhs, body, agg, label, span)
         if self.at("->"):
             self.advance()
             rhs: Optional[Formula] = None
             if not self.at("."):
                 rhs = self.parse_formula()
             self.expect(".")
-            return [self._make_constraint(lhs, rhs, label)]
+            return [self._make_constraint(lhs, rhs, label, span)]
         raise self.error("expected '.', '<-' or '->' after formula")
 
     def _try_label(self) -> Optional[str]:
@@ -150,21 +153,24 @@ class Parser:
                 raise self.error(f"rule head must be positive atoms, found {item!r}")
         return tuple(heads)
 
-    def _make_facts(self, formula: Formula, label: Optional[str]) -> list[Statement]:
+    def _make_facts(self, formula: Formula, label: Optional[str],
+                    span: Optional[Span] = None) -> list[Statement]:
         heads = self._heads_from_formula(formula)
-        return [Rule(heads, (), None, label)]
+        return [Rule(heads, (), None, label, span=span)]
 
     def _make_rules(self, head_formula: Formula, body: Formula,
-                    agg: Optional[Aggregate], label: Optional[str]) -> list[Statement]:
+                    agg: Optional[Aggregate], label: Optional[str],
+                    span: Optional[Span] = None) -> list[Statement]:
         heads = self._heads_from_formula(head_formula)
         alternatives = dnf_body(body)
-        return [Rule(heads, alt, agg, label) for alt in alternatives]
+        return [Rule(heads, alt, agg, label, span=span) for alt in alternatives]
 
     def _make_constraint(self, lhs: Formula, rhs: Optional[Formula],
-                         label: Optional[str]) -> Constraint:
+                         label: Optional[str],
+                         span: Optional[Span] = None) -> Constraint:
         lhs_dnf = to_dnf(lhs)
         rhs_dnf = to_dnf(rhs) if rhs is not None else ()
-        return Constraint(lhs_dnf, rhs_dnf, label)
+        return Constraint(lhs_dnf, rhs_dnf, label, span=span)
 
     # -- aggregation -------------------------------------------------------------
 
@@ -216,13 +222,16 @@ class Parser:
     def _parse_basic(self) -> Formula:
         """An atom, or a comparison between two terms."""
         if self._at_atom_start():
-            return Literal(self.parse_atom())
+            atom = self.parse_atom()
+            return Literal(atom, span=atom.span)
+        start = self.peek()
         left = self.parse_term()
         op_token = self.peek()
         if op_token.kind == "PUNCT" and op_token.text in _COMPARE_OPS:
             self.advance()
             right = self.parse_term()
-            return Comparison(op_token.text, left, right)
+            return Comparison(op_token.text, left, right,
+                              span=Span(start.line, start.column))
         raise self.error(f"expected comparison operator, found {op_token.text!r}")
 
     def _at_atom_start(self) -> bool:
@@ -268,6 +277,7 @@ class Parser:
         return name
 
     def parse_atom(self) -> Atom:
+        start = self.peek()
         name = self._parse_predname()
         keys: tuple = ()
         if self.at("[") and self.peek().glued:
@@ -279,7 +289,7 @@ class Parser:
         if not self.at(")"):
             args = tuple(self._parse_term_list(")"))
         self.expect(")")
-        return Atom(name, args, keys)
+        return Atom(name, args, keys, span=Span(start.line, start.column))
 
     def _parse_term_list(self, closer: str) -> list[Term]:
         terms = [self.parse_term()]
@@ -483,9 +493,20 @@ class Parser:
 # Convenience entry points
 # ---------------------------------------------------------------------------
 
+def _with_excerpt(exc: ParseError, source: str) -> ParseError:
+    """Enrich a ParseError with the offending source line (see errors.py)."""
+    return exc.with_source(source)
+
+
 def parse_program(source: str) -> Program:
     """Parse a multi-statement source string into a :class:`Program`."""
-    return Parser(tokenize(source)).parse_program()
+    try:
+        return Parser(tokenize(source)).parse_program()
+    except ParseError as exc:
+        enriched = _with_excerpt(exc, source)
+        if enriched is exc:
+            raise
+        raise enriched from None
 
 
 def parse_statements(source: str) -> list[Statement]:
@@ -512,8 +533,14 @@ def parse_constraint(source: str) -> Constraint:
 
 def parse_atom(source: str) -> Atom:
     """Parse a single atom, e.g. ``"access(P,O,read)"``."""
-    parser = Parser(tokenize(source))
-    atom = parser.parse_atom()
+    try:
+        parser = Parser(tokenize(source))
+        atom = parser.parse_atom()
+    except ParseError as exc:
+        enriched = _with_excerpt(exc, source)
+        if enriched is exc:
+            raise
+        raise enriched from None
     if parser.peek().kind != "EOF":
         raise ParseError("trailing input after atom")
     return atom
@@ -521,8 +548,14 @@ def parse_atom(source: str) -> Atom:
 
 def parse_term(source: str) -> Term:
     """Parse a single term."""
-    parser = Parser(tokenize(source))
-    term = parser.parse_term()
+    try:
+        parser = Parser(tokenize(source))
+        term = parser.parse_term()
+    except ParseError as exc:
+        enriched = _with_excerpt(exc, source)
+        if enriched is exc:
+            raise
+        raise enriched from None
     if parser.peek().kind != "EOF":
         raise ParseError("trailing input after term")
     return term

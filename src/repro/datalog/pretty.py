@@ -15,7 +15,6 @@ Two jobs:
 from __future__ import annotations
 
 from .terms import (
-    ME,
     Aggregate,
     Atom,
     AtomPattern,

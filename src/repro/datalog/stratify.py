@@ -11,7 +11,7 @@ numbers; a negative (or aggregate) edge inside an SCC is a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Optional
 
 from .errors import StratificationError
 from .terms import Literal, Rule
@@ -112,11 +112,62 @@ def tarjan_sccs(graph: DepGraph) -> list[frozenset]:
     return result
 
 
+def _cycle_path(graph: DepGraph, start: str, goal: str,
+                component: frozenset) -> list[str]:
+    """Shortest dependency path ``start → … → goal`` inside one SCC (BFS
+    over positive+negative edges; both endpoints are in the component, so
+    a path exists by the definition of an SCC)."""
+    if start == goal:
+        return [start]
+    frontier = [start]
+    parent: dict[str, str] = {start: start}
+    while frontier:
+        next_frontier: list[str] = []
+        for node in frontier:
+            successors = (graph.positive.get(node, set())
+                          | graph.negative.get(node, set()))
+            for succ in sorted(successors):
+                if succ not in component or succ in parent:
+                    continue
+                parent[succ] = node
+                if succ == goal:
+                    path = [goal]
+                    while path[-1] != start:
+                        path.append(parent[path[-1]])
+                    return list(reversed(path))
+                next_frontier.append(succ)
+        frontier = next_frontier
+    return [start, goal]  # pragma: no cover - SCC guarantees a path
+
+
+def find_negative_cycle(graph: DepGraph) -> Optional[tuple[str, str, list[str]]]:
+    """The first negative edge inside a cycle, with the cycle spelled out.
+
+    Returns ``(source, target, cycle)`` where ``source -!-> target`` is the
+    offending negative dependency and ``cycle`` is the predicate path
+    ``target → … → source → target`` that closes the loop, or ``None``
+    when the program is stratifiable.
+    """
+    sccs = tarjan_sccs(graph)
+    component_of: dict[str, frozenset] = {}
+    for component in sccs:
+        for pred in component:
+            component_of[pred] = component
+    for source in sorted(graph.negative):
+        for target in sorted(graph.negative[source]):
+            if component_of[source] is component_of[target]:
+                path = _cycle_path(graph, target, source,
+                                   component_of[source])
+                return source, target, path + [target]
+    return None
+
+
 def assign_strata(graph: DepGraph) -> dict[str, int]:
     """Map each predicate to its stratum number (0-based).
 
     Raises :class:`StratificationError` if a negative edge lies inside a
-    cycle (negation/aggregation through recursion).
+    cycle (negation/aggregation through recursion); the message spells out
+    the offending cycle predicate by predicate.
     """
     sccs = tarjan_sccs(graph)
     component_of: dict[str, int] = {}
@@ -125,13 +176,16 @@ def assign_strata(graph: DepGraph) -> dict[str, int]:
             component_of[pred] = component_id
 
     # Negative self-dependency check.
-    for source, targets in graph.negative.items():
-        for target in targets:
-            if component_of[source] == component_of[target]:
-                raise StratificationError(
-                    f"predicate {target!r} depends negatively on {source!r} "
-                    f"inside a recursive cycle; the program is not stratifiable"
-                )
+    offending = find_negative_cycle(graph)
+    if offending is not None:
+        source, target, cycle = offending
+        rendered = " -> ".join(cycle)
+        raise StratificationError(
+            f"predicate {target!r} depends negatively on {source!r} "
+            f"inside a recursive cycle ({rendered}, where {source!r} "
+            f"feeds {target!r} through negation or aggregation); "
+            f"the program is not stratifiable"
+        )
 
     # Tarjan emits SCCs in reverse topological order (dependents first);
     # process them reversed so every source component is assigned before
@@ -159,7 +213,7 @@ class Stratum:
     preds: frozenset
     rules: list            # non-aggregate rules
     agg_rules: list        # aggregate rules (evaluated once, first)
-    _reads: frozenset = None  # lazily cached body predicates
+    _reads: Optional[frozenset] = None  # lazily cached body predicates
 
     @property
     def has_negation(self) -> bool:

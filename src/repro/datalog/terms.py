@@ -26,6 +26,28 @@ from typing import Iterable, Iterator, Optional, Union
 
 
 # ---------------------------------------------------------------------------
+# Source spans
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Span:
+    """A source position (1-based line and column) attached to parsed nodes.
+
+    Spans ride along as ``compare=False`` fields so structural equality and
+    hashing — which the unifier, the rule-interning registry, and the wire
+    codecs rely on — are unaffected: two alpha-equal rules parsed from
+    different places still compare equal.  The static analyzer
+    (:mod:`repro.analysis`) turns spans into ``file:line:col`` diagnostics.
+    """
+
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+# ---------------------------------------------------------------------------
 # Sentinel values
 # ---------------------------------------------------------------------------
 
@@ -338,6 +360,7 @@ class Atom:
     pred: str
     args: tuple = ()  # tuple[Term, ...]
     keys: tuple = ()  # tuple[Term, ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def all_args(self) -> tuple:
@@ -356,7 +379,8 @@ class Atom:
         """Rebuild this atom with the same shape but new flattened args."""
         new_args = tuple(new_args)
         nkeys = len(self.keys)
-        return Atom(self.pred, new_args[nkeys:], new_args[:nkeys])
+        return Atom(self.pred, new_args[nkeys:], new_args[:nkeys],
+                    span=self.span)
 
     def __repr__(self) -> str:
         keys = f"[{','.join(repr(k) for k in self.keys)}]" if self.keys else ""
@@ -370,6 +394,7 @@ class Literal:
 
     atom: Atom
     negated: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def variables(self) -> Iterator[Variable]:
         return self.atom.variables()
@@ -392,6 +417,7 @@ class Comparison:
     op: str
     left: Term
     right: Term
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.op not in _COMPARE_OPS:
@@ -470,6 +496,7 @@ class Rule:
     body: tuple = ()  # tuple[BodyItem, ...]
     agg: Optional[Aggregate] = None
     label: Optional[str] = None
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def head(self) -> Atom:
@@ -516,6 +543,7 @@ class Constraint:
     rhs: tuple  # tuple[tuple[BodyItem, ...], ...]  (DNF alternatives)
     label: Optional[str] = None
     source: Optional[str] = None
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def is_declaration(self) -> bool:
         """True when the RHS is trivially satisfiable (pure declaration)."""

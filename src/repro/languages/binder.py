@@ -85,7 +85,7 @@ class BinderParser(Parser):
             self.advance()
             self.advance()
             atom = self.parse_atom()
-            return Literal(_says_import(speaker, atom))
+            return Literal(_says_import(speaker, atom), span=atom.span)
         return super()._parse_basic()
 
 
@@ -96,13 +96,17 @@ def _says_import(speaker: Term, atom: Atom) -> Atom:
         body=(),
         has_arrow=False,
     )
-    return Atom("says", (speaker, Constant(ME), Quote(pattern)))
+    return Atom("says", (speaker, Constant(ME), Quote(pattern)),
+                span=atom.span)
 
 
 def parse_binder(source: str) -> list:
     """Parse a Binder program (``:-`` or ``<-`` rules, says literals)."""
-    tokens = [_arrow(t) for t in tokenize(source)]
-    return BinderParser(tokens).parse_program().statements
+    try:
+        tokens = [_arrow(t) for t in tokenize(source)]
+        return BinderParser(tokens).parse_program().statements
+    except ParseError as exc:
+        raise exc.with_source(source) from None
 
 
 def _arrow(token: Token) -> Token:

@@ -77,6 +77,13 @@ class _SendlogParser(BinderParser):
 
 def parse_sendlog(source: str) -> list[SendlogBlock]:
     """Split a SeNDlog program into ``At`` blocks of compiled statements."""
+    try:
+        return _parse_sendlog(source)
+    except ParseError as exc:
+        raise exc.with_source(source) from None
+
+
+def _parse_sendlog(source: str) -> list[SendlogBlock]:
     tokens = tokenize(source)
     blocks: list[SendlogBlock] = []
     index = 0
@@ -162,14 +169,16 @@ def _compile_rule(heads, body_formula, label, context) -> list[Rule]:
     def localize_atom(atom: Atom) -> Atom:
         return Atom(atom.pred,
                     tuple(localize_term(t) for t in atom.args),
-                    tuple(localize_term(t) for t in atom.keys))
+                    tuple(localize_term(t) for t in atom.keys),
+                    span=atom.span)
 
     rules = []
     for alternative in dnf_body(body_formula):
         body_items = []
         for item in alternative:
             if isinstance(item, Literal):
-                body_items.append(Literal(localize_atom(item.atom), item.negated))
+                body_items.append(Literal(localize_atom(item.atom),
+                                          item.negated, span=item.span))
             else:
                 item_type = type(item)
                 if hasattr(item, "left"):
@@ -193,8 +202,11 @@ def _compile_rule(heads, body_formula, label, context) -> list[Rule]:
                     body=(), has_arrow=False,
                 )
                 head_atoms.append(Atom("says", (
-                    Constant(ME), localize_term(dest), Quote(pattern))))
-        rules.append(Rule(tuple(head_atoms), tuple(body_items), None, label))
+                    Constant(ME), localize_term(dest), Quote(pattern)),
+                    span=atom.span))
+        span = head_atoms[0].span if head_atoms else None
+        rules.append(Rule(tuple(head_atoms), tuple(body_items), None, label,
+                          span=span))
     return rules
 
 

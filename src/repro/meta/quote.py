@@ -103,6 +103,7 @@ def resolve_me_atom(atom: Atom, principal: str) -> Atom:
         atom.pred,
         tuple(resolve_me_term(t, principal) for t in atom.args),
         tuple(resolve_me_term(t, principal) for t in atom.keys),
+        span=atom.span,
     )
 
 
@@ -189,17 +190,18 @@ def resolve_me_rule(rule: Rule, principal: str) -> Rule:
     for item in rule.body:
         if isinstance(item, Literal):
             body.append(Literal(resolve_me_atom(item.atom, principal),
-                                item.negated))
+                                item.negated, span=item.span))
         elif isinstance(item, Comparison):
             body.append(Comparison(item.op,
                                    resolve_me_term(item.left, principal),
-                                   resolve_me_term(item.right, principal)))
+                                   resolve_me_term(item.right, principal),
+                                   span=item.span))
         elif isinstance(item, BuiltinCall):
             body.append(BuiltinCall(item.name, tuple(
                 resolve_me_term(t, principal) for t in item.args)))
         else:  # pragma: no cover - defensive
             raise SafetyError(f"unexpected body item {item!r}")
-    return Rule(heads, tuple(body), rule.agg, rule.label)
+    return Rule(heads, tuple(body), rule.agg, rule.label, span=rule.span)
 
 
 def compile_rule(rule: Rule, principal: Optional[str],
@@ -214,7 +216,7 @@ def compile_rule(rule: Rule, principal: Optional[str],
         for h in rule.heads
     )
     body = compile_body_items(rule.body, principal, builtins)
-    return Rule(heads, tuple(body), rule.agg, rule.label)
+    return Rule(heads, tuple(body), rule.agg, rule.label, span=rule.span)
 
 
 def compile_constraint(constraint: Constraint, principal: Optional[str],
@@ -228,7 +230,8 @@ def compile_constraint(constraint: Constraint, principal: Optional[str],
         tuple(compile_body_items(alternative, principal, builtins))
         for alternative in constraint.rhs
     )
-    return Constraint(lhs, rhs, constraint.label, constraint.source)
+    return Constraint(lhs, rhs, constraint.label, constraint.source,
+                      span=constraint.span)
 
 
 def compile_body_items(items: tuple, principal: Optional[str],
@@ -253,7 +256,7 @@ def compile_body_items(items: tuple, principal: Optional[str],
                     )
                 compiled.append(BuiltinCall(atom.pred, atom.all_args))
             else:
-                compiled.append(Literal(atom, item.negated))
+                compiled.append(Literal(atom, item.negated, span=item.span))
             compiled.extend(extra)
         elif isinstance(item, Comparison):
             left = resolve_me_term(item.left, principal) if principal else item.left
@@ -268,7 +271,8 @@ def compile_body_items(items: tuple, principal: Optional[str],
                     f"atom arguments, not in {item!r}"
                 )
             else:
-                compiled.append(Comparison(item.op, left, right))
+                compiled.append(Comparison(item.op, left, right,
+                                           span=item.span))
         elif isinstance(item, BuiltinCall):
             args = tuple(
                 resolve_me_term(t, principal) if principal else t

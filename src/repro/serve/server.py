@@ -128,7 +128,11 @@ class TrustServer:
             if not isinstance(source, str):
                 raise ServeError("load needs a source string")
             principal.load(source)
-            return {}
+            warnings = [
+                d.to_json() for d in principal.workspace.last_check
+                if d.severity == "warning"
+            ]
+            return {"warnings": warnings}
         if op == "query":
             return self._op_query(body)
         if op == "sync":

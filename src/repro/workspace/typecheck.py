@@ -13,6 +13,12 @@ only; user types (unary predicates like ``principal``) are nominal — two
 different user types on one variable are reported, since nothing declares
 a subtyping relation.  Findings are warnings by design: the dynamic
 constraints remain authoritative, matching LogicBlox's layering.
+
+The inference itself lives in :mod:`repro.analysis.passes`
+(:func:`~repro.analysis.passes.infer_type_clashes`), where the unified
+static analyzer reports it as code ``R202``; this module keeps the
+original :class:`TypeIssue` API as a thin wrapper so workspace callers
+and existing tests are unaffected.
 """
 
 from __future__ import annotations
@@ -20,8 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from ..datalog.terms import Literal, Rule, Variable
-from .catalog import PRIMITIVE_TYPES, Catalog
+from ..datalog.terms import Rule
+from .catalog import Catalog
 
 
 @dataclass(frozen=True)
@@ -37,52 +43,17 @@ class TypeIssue:
                 f"at positions typed {', '.join(self.types)}")
 
 
-_COMPATIBLE = {
-    frozenset({"int", "number"}),
-    frozenset({"float", "number"}),
-}
-
-
 def _compatible(a: str, b: str) -> bool:
-    if a == b or "any" in (a, b):
-        return True
-    return frozenset({a, b}) in _COMPATIBLE
+    from ..analysis.passes import compatible_types
+    return compatible_types(a, b)
 
 
 def typecheck_rule(rule: Rule, catalog: Catalog) -> list[TypeIssue]:
     """Static issues for one rule against the catalog's declarations."""
-    var_types: dict[str, set] = {}
-
-    def observe(atom) -> None:
-        info = catalog.get(atom.pred)
-        if info is None or not info.declared:
-            return
-        for position, term in enumerate(atom.all_args):
-            if not isinstance(term, Variable):
-                continue
-            declared = info.arg_types[position] if position < len(info.arg_types) else None
-            if declared is None:
-                continue
-            var_types.setdefault(term.name, set()).add(declared)
-
-    for head in rule.heads:
-        observe(head)
-    for item in rule.body:
-        if isinstance(item, Literal):
-            observe(item.atom)
-
-    issues = []
+    from ..analysis.passes import infer_type_clashes
     label = rule.label or "<unlabeled>"
-    for name, types in sorted(var_types.items()):
-        concrete = sorted(types)
-        clash = any(
-            not _compatible(a, b)
-            for i, a in enumerate(concrete)
-            for b in concrete[i + 1:]
-        )
-        if clash:
-            issues.append(TypeIssue(label, name, tuple(concrete)))
-    return issues
+    return [TypeIssue(label, name, types)
+            for name, types in infer_type_clashes(rule, catalog)]
 
 
 def typecheck_program(rules: Iterable[Rule], catalog: Catalog) -> list[TypeIssue]:

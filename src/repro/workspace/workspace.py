@@ -106,6 +106,9 @@ class Workspace:
         self.catalog = Catalog()
         self.constraints: list[Constraint] = []
         self.audit: list[AuditEvent] = []
+        #: diagnostics from the most recent :meth:`load` static check
+        #: (errors raise instead; this holds the warnings/infos).
+        self.last_check: list = []
         self.stats = EvalStats()
         self.max_activation_rounds = max_activation_rounds
         self.provenance: Optional[ProvenanceStore] = (
@@ -139,11 +142,40 @@ class Workspace:
     # ------------------------------------------------------------------
 
     def load(self, source: str) -> None:
-        """Parse and install a program: facts, rules, constraints."""
+        """Parse, statically check, and install a program.
+
+        The static analyzer (:mod:`repro.analysis`) gates installation:
+        error diagnostics reject the load by raising the exception type
+        the engine itself would raise (``SafetyError``,
+        ``StratificationError``, ``WorkspaceError``); warnings and infos
+        land in :attr:`last_check` and, for warnings, the audit log.
+        """
         statements = parse_statements(source)
+        self._static_check(statements, source)
         with self.transaction():
             for statement in statements:
                 self._install(statement)
+
+    def _static_check(self, statements: list, source: str) -> None:
+        from ..analysis.diagnostics import WARNING
+        from ..analysis.pipeline import (
+            GATE_PASSES,
+            analyze_statements,
+            raise_for_errors,
+        )
+
+        report = analyze_statements(statements, source=source,
+                                    builtins=self.builtins,
+                                    passes=GATE_PASSES)
+        raise_for_errors(report)
+        self.last_check = report
+        warnings = [d for d in report if d.severity == WARNING]
+        if warnings:
+            self.audit.append(AuditEvent("static_check_warnings", {
+                "workspace": self.name,
+                "warnings": [f"{d.location()}: [{d.code}] {d.message}"
+                             for d in warnings],
+            }))
 
     def _install(self, statement: Statement) -> None:
         if isinstance(statement, Constraint):

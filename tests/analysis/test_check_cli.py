@@ -1,0 +1,124 @@
+"""``repro check``: formats, exit codes, .py extraction, placement flags."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.cli import extract_programs, looks_like_program, main
+from repro.cli import main as repro_main
+
+
+def run(args):
+    out = io.StringIO()
+    code = main(args, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.dl"
+    path.write_text("p(X,Y) <- q(X).\n")
+    return path
+
+
+@pytest.fixture
+def warn_file(tmp_path):
+    path = tmp_path / "warn.dl"
+    path.write_text("r(X) <- s(X), !t(X,Y).\ns(1). t(1,2).\n")
+    return path
+
+
+def test_error_exits_one_with_caret(bad_file):
+    code, text = run([str(bad_file)])
+    assert code == 1
+    assert f"{bad_file}:1:1: error [R001]" in text
+    assert "  ^" in text  # caret excerpt under the offending line
+    assert "1 error(s)" in text
+
+
+def test_warnings_pass_unless_strict(warn_file):
+    code, _ = run([str(warn_file)])
+    assert code == 0
+    code, text = run(["--strict", str(warn_file)])
+    assert code == 1
+    assert "[R002]" in text
+
+
+def test_json_format_is_schema_versioned(bad_file):
+    code, text = run(["--format", "json", str(bad_file)])
+    assert code == 1
+    report = json.loads(text)
+    assert report["schema"] == "repro-check/v1"
+    assert report["ok"] is False
+    assert report["summary"]["errors"] == 1
+    [diag] = [d for d in report["diagnostics"] if d["code"] == "R001"]
+    assert diag["file"] == str(bad_file)
+    assert diag["line"] == 1 and diag["column"] == 1
+
+
+def test_python_file_extraction_shifts_spans(tmp_path):
+    host = tmp_path / "host.py"
+    host.write_text(
+        '"""doc"""\n'
+        "POLICY = \"\"\"\n"
+        "p(X,Y) <- q(X).\n"
+        "\"\"\"\n"
+        "def setup(ws):\n"
+        "    ws.load('r(1,2).')\n"
+    )
+    code, text = run([str(host)])
+    assert code == 1
+    # the program's line 2 lands on the file's line 3
+    assert f"{host}:3:1: error [R001]" in text
+
+
+def test_extract_programs_heuristics():
+    source = (
+        "RULES = 'p(X) <- q(X).'\n"
+        "lowercase = 'ignored(X) <- y(X).'\n"
+        "note = 'not a program'\n"
+        "ws.load('f(1).')\n"
+        "ws.assert_fact('says', ('a', 'b'))\n"
+    )
+    programs = extract_programs(source)
+    assert [(label, text) for label, _, text in programs] == [
+        ("RULES", "p(X) <- q(X)."),
+        ("load", "f(1)."),
+    ]
+    assert looks_like_program("access(P) :- good(P).")
+    assert not looks_like_program("alice")
+    assert not looks_like_program("ends with period.")
+
+
+def test_paper_listings_flag_is_strict_clean():
+    code, text = run(["--strict", "--paper-listings"])
+    assert code == 0
+    assert "0 error(s), 0 warning(s)" in text
+
+
+def test_usage_errors_exit_two(tmp_path):
+    assert run([])[0] == 2                      # no input
+    assert run(["missing.dl"])[0] == 2          # no such file
+    assert run(["--partition", "a=0"])[0] == 2  # placement without --nodes
+    bad_pass = tmp_path / "p.dl"
+    bad_pass.write_text("p(1).")
+    assert run(["--passes", "vibes", str(bad_pass)])[0] == 2
+
+
+def test_placement_dry_run_flags(tmp_path):
+    program = tmp_path / "join.dl"
+    program.write_text("j(X,Y) <- a(X,K), b(Y,Z).\n")
+    code, text = run(["--nodes", "2", "--partition", "a=0",
+                      "--partition", "b", str(program)])
+    assert code == 1
+    assert "[R501]" in text
+    # replicating one side makes the join co-locatable
+    code, _ = run(["--nodes", "2", "--partition", "a=0",
+                   "--replicate", "b", str(program)])
+    assert code == 0
+
+
+def test_dispatch_from_top_level_cli(bad_file, capsys):
+    assert repro_main(["check", str(bad_file)]) == 1
+    assert "[R001]" in capsys.readouterr().out

@@ -1,0 +1,30 @@
+"""The paper-listing corpus must stay strict-clean under the analyzer."""
+
+import pytest
+
+from repro.analysis import analyze_source
+from repro.analysis.corpus import (
+    BINDER_LISTINGS,
+    LISTINGS,
+    SENDLOG_LISTINGS,
+    iter_corpus,
+)
+
+
+def test_corpus_covers_all_surfaces():
+    entries = list(iter_corpus())
+    dialects = {dialect for _, dialect, _ in entries}
+    assert dialects == {"core", "binder", "sendlog"}
+    assert len(entries) == (len(LISTINGS) + len(BINDER_LISTINGS)
+                            + len(SENDLOG_LISTINGS))
+
+
+@pytest.mark.parametrize("name,dialect,source",
+                         list(iter_corpus()),
+                         ids=[n for n, _, _ in iter_corpus()])
+def test_listing_is_strict_clean(name, dialect, source):
+    """No errors, no warnings — info findings (benign singletons) allowed."""
+    diags = analyze_source(source, file=name, dialect=dialect)
+    problems = [d for d in diags if d.severity in ("error", "warning")]
+    assert not problems, [f"{d.location()}: [{d.code}] {d.message}"
+                          for d in problems]

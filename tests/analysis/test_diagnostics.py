@@ -1,0 +1,110 @@
+"""Diagnostic objects, severities, and the repro-check/v1 JSON schema."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODES,
+    SCHEMA,
+    SEVERITIES,
+    Diagnostic,
+    dumps_report,
+    excerpt,
+    failed,
+    render_text,
+    report_from_json,
+    report_to_json,
+    summarize,
+)
+from repro.datalog.terms import Span
+
+
+def test_code_table_is_well_formed():
+    for code, (severity, title) in CODES.items():
+        assert code.startswith("R") and len(code) == 4, code
+        assert severity in SEVERITIES
+        assert title
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValueError, match="unknown diagnostic code"):
+        Diagnostic("R999", "nope")
+
+
+def test_severity_and_location():
+    d = Diagnostic("R001", "unsafe", file="p.dl", span=Span(3, 7))
+    assert d.severity == "error"
+    assert d.title == "head variable not bound by the body"
+    assert d.location() == "p.dl:3:7"
+    assert Diagnostic("R302", "lonely").location() == "<input>"
+
+
+def test_shifted_relocates_into_embedding_file():
+    d = Diagnostic("R002", "w", span=Span(2, 5))
+    moved = d.shifted(10, "host.py")
+    assert moved.span == Span(12, 5)
+    assert moved.file == "host.py"
+    # zero offset keeps the span; file still updates
+    assert d.shifted(0, "x").span == Span(2, 5)
+    # no span: only the file moves
+    assert Diagnostic("R002", "w").shifted(4, "x").span is None
+
+
+def test_json_round_trip_per_diagnostic():
+    d = Diagnostic("R201", "arity clash", file="p.dl", span=Span(1, 4),
+                   rule_label="r1", pred="f")
+    data = d.to_json()
+    assert data == {"code": "R201", "severity": "error",
+                    "message": "arity clash", "file": "p.dl",
+                    "line": 1, "column": 4, "rule": "r1", "pred": "f"}
+    assert Diagnostic.from_json(data) == d
+    bare = Diagnostic("R301", "dead")
+    assert Diagnostic.from_json(bare.to_json()) == bare
+
+
+def test_report_round_trip_and_schema_tag():
+    diags = [Diagnostic("R001", "e", span=Span(1, 1)),
+             Diagnostic("R202", "w"),
+             Diagnostic("R302", "i")]
+    report = report_to_json(diags, strict=True)
+    assert report["schema"] == SCHEMA == "repro-check/v1"
+    assert report["strict"] is True
+    assert report["ok"] is False
+    assert report["summary"] == {"errors": 1, "warnings": 1, "infos": 1}
+    assert set(report_from_json(report)) == set(diags)
+    # dumps_report is the same report, serialized
+    assert json.loads(dumps_report(diags, strict=True)) == report
+
+
+def test_report_from_json_rejects_other_schemas():
+    with pytest.raises(ValueError, match="unsupported report schema"):
+        report_from_json({"schema": "repro-bench/v1", "diagnostics": []})
+    with pytest.raises(ValueError, match="unsupported report schema"):
+        report_from_json({"diagnostics": []})
+
+
+def test_failed_strictness():
+    infos = [Diagnostic("R301", "i")]
+    warns = infos + [Diagnostic("R401", "w")]
+    errors = warns + [Diagnostic("R101", "e")]
+    assert not failed(infos) and not failed(infos, strict=True)
+    assert not failed(warns) and failed(warns, strict=True)
+    assert failed(errors) and failed(errors, strict=True)
+
+
+def test_summarize_counts():
+    assert summarize([]) == {"errors": 0, "warnings": 0, "infos": 0}
+
+
+def test_excerpt_and_render_text():
+    source = "p(X) <- q(X).\nr(Y) <- s(Y).\n"
+    snippet = excerpt(source, Span(2, 9))
+    assert snippet == "  r(Y) <- s(Y).\n          ^"
+    assert excerpt(source, Span(99, 1)) is None
+    text = render_text(
+        [Diagnostic("R001", "boom", file="p.dl", span=Span(1, 1))],
+        sources={"p.dl": source})
+    assert "p.dl:1:1: error [R001] boom" in text
+    assert "  ^" in text
+    assert text.endswith("1 error(s), 0 warning(s), 0 info(s)")

@@ -1,0 +1,88 @@
+"""Dialect detection, the pass runner, and the gate's exception mapping."""
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_PASSES,
+    GATE_PASSES,
+    analyze_source,
+    detect_dialect,
+    raise_for_errors,
+    run_passes,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.pipeline import AnalysisContext, gate_exception, parse_dialect
+from repro.datalog.errors import (
+    ClusterError,
+    SafetyError,
+    StratificationError,
+    WorkspaceError,
+)
+from repro.datalog.terms import Span
+
+
+def test_detect_dialect():
+    assert detect_dialect("p(X) <- q(X).") == "core"
+    assert detect_dialect("p(X) :- q(X).") == "binder"
+    assert detect_dialect("p(X) <- bob says q(X).") == "binder"
+    assert detect_dialect("At S:\nr(S,D) :- n(S,D).") == "sendlog"
+
+
+def test_parse_dialect_flattens_sendlog_blocks():
+    statements = parse_dialect("At S:\nr(S,D) :- n(S,D).\nn(S,S) :- id(S).")
+    assert len(statements) == 2
+    with pytest.raises(ValueError, match="unknown dialect"):
+        parse_dialect("p(1).", "prolog")
+
+
+def test_parse_error_becomes_r000_with_span():
+    diags = analyze_source("p(X <- q(X).", file="bad.dl")
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.code == "R000" and d.severity == "error"
+    assert d.file == "bad.dl"
+    assert d.span is not None and d.span.line == 1
+
+
+def test_run_passes_rejects_unknown_pass():
+    ctx = AnalysisContext(statements=[])
+    with pytest.raises(ValueError, match="unknown analysis pass"):
+        run_passes(ctx, passes=["safety", "vibes"])
+
+
+def test_gate_passes_are_a_subset_of_default():
+    assert set(GATE_PASSES) <= set(DEFAULT_PASSES)
+    # the gate runs exactly the engine-equivalent families
+    assert GATE_PASSES == ("safety", "stratification", "types")
+
+
+def test_gate_exception_families():
+    assert gate_exception("R001") is SafetyError
+    assert gate_exception("R101") is StratificationError
+    assert gate_exception("R201") is WorkspaceError
+    assert gate_exception("R501") is ClusterError
+
+
+def test_raise_for_errors_folds_all_errors():
+    diags = [
+        Diagnostic("R201", "arity", file="p.dl", span=Span(2, 1)),
+        Diagnostic("R001", "unsafe", file="p.dl", span=Span(1, 1)),
+        Diagnostic("R302", "singleton"),  # info: never raises
+    ]
+    with pytest.raises(SafetyError) as exc:
+        raise_for_errors(diags)
+    message = str(exc.value)
+    assert "static check rejected the program" in message
+    assert "[R001]" in message and "[R201]" in message
+    assert "[R302]" not in message
+
+
+def test_raise_for_errors_quiet_on_warnings():
+    raise_for_errors([Diagnostic("R002", "w"), Diagnostic("R301", "i")])
+
+
+def test_analyze_source_pass_subset():
+    # deadcode-only run reports R302 but not the R001 safety error
+    diags = analyze_source("p(X,Y) <- q(X).", passes=("deadcode",))
+    codes = {d.code for d in diags}
+    assert "R302" in codes and "R001" not in codes

@@ -1,0 +1,42 @@
+"""The static-check gate on ``Cluster.load``."""
+
+import pytest
+
+from repro.cluster import Cluster, Partitioner
+from repro.datalog.errors import SafetyError, StratificationError
+
+
+def two_node_cluster():
+    names = ["node0", "node1"]
+    partitioner = Partitioner(names)
+    partitioner.hash_partition("edge", column=0)
+    return Cluster(names, partitioner=partitioner)
+
+
+def test_unsafe_rule_rejected_before_distribution():
+    cluster = two_node_cluster()
+    with pytest.raises(SafetyError, match=r"\[R001\]"):
+        cluster.load("p(X,Y) <- edge(X,Z).")
+    # nothing reached the cluster's rule set
+    assert cluster._rules == []
+
+
+def test_unstratifiable_program_rejected():
+    cluster = two_node_cluster()
+    with pytest.raises(StratificationError, match=r"\[R101\]"):
+        cluster.load("p(X) <- edge(X,_), !r(X).\nr(X) <- p(X).")
+
+
+def test_clean_program_populates_last_check():
+    cluster = two_node_cluster()
+    cluster.load("reach(X,Y) <- edge(X,Y).")
+    assert cluster.last_check == []  # no findings from the gate passes
+
+
+def test_warnings_survive_in_last_check():
+    cluster = two_node_cluster()
+    # local (non-exchanged) predicates, so the negation is distributable;
+    # the unbound Y in the negated literal is the seeded R002 warning
+    cluster.load("p(X) <- local(X), !q(X,Y).")
+    assert [d.code for d in cluster.last_check] == ["R002"]
+    assert len(cluster._rules) == 1  # the load still committed

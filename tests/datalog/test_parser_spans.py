@@ -1,0 +1,60 @@
+"""Source spans threaded from the lexer through the parser.
+
+Spans are metadata: they never participate in equality, hashing, or
+interning (``compare=False``), so two occurrences of the same literal at
+different positions stay equal while each remembers where it came from.
+"""
+
+import pytest
+
+from repro.datalog.errors import ParseError
+from repro.datalog.parser import parse_statements
+from repro.datalog.terms import Comparison, Literal, Rule, Span
+
+
+def test_rule_and_literal_spans():
+    source = "p(X) <- q(X), !r(X), X > 1.\n  s(Y) <- t(Y)."
+    first, second = parse_statements(source)
+    assert first.span == Span(1, 1)
+    q, r, cmp = first.body
+    assert isinstance(q, Literal) and q.span == Span(1, 9)
+    assert isinstance(r, Literal) and r.span == Span(1, 16)
+    assert isinstance(cmp, Comparison) and cmp.span == Span(1, 22)
+    # second rule starts on line 2, after indentation
+    assert second.span == Span(2, 3)
+    assert second.body[0].span == Span(2, 11)
+
+
+def test_head_atom_span():
+    [rule] = parse_statements("p(X,Y) <- q(X,Y).")
+    assert rule.heads[0].span == Span(1, 1)
+
+
+def test_constraint_span():
+    [constraint] = parse_statements("access(P) -> principal(P).")
+    assert constraint.span == Span(1, 1)
+
+
+def test_spans_do_not_affect_equality():
+    [a] = parse_statements("p(X) <- q(X).")
+    [b] = parse_statements("\n   p(X) <- q(X).")
+    assert a == b and a.span != b.span
+    assert hash(a.body[0]) == hash(b.body[0])
+
+
+def test_parse_error_carries_position_and_excerpt():
+    with pytest.raises(ParseError) as exc:
+        parse_statements("p(X) <- q(X)\nbroken")
+    error = exc.value
+    assert error.line >= 1 and error.column >= 1
+    rendered = str(error)
+    assert "line" in rendered
+    # the offending source line and a caret are shown
+    assert "^" in rendered
+
+
+def test_parse_error_base_message_is_caret_free():
+    with pytest.raises(ParseError) as exc:
+        parse_statements("p(X <- q(X).")
+    assert "^" not in exc.value.base_message
+    assert "\n" not in exc.value.base_message

@@ -1,0 +1,51 @@
+"""The serve-plane ``load`` op reports static-check warnings."""
+
+import pytest
+
+from repro.core.system import LBTrustSystem
+from repro.datalog.errors import ReproError
+from repro.net.network import SimulatedNetwork
+from repro.net.transport import decode_reply_frame, encode_request_frame
+from repro.serve import TrustServer
+
+
+@pytest.fixture
+def server():
+    system = LBTrustSystem(auth="plaintext", seed=7)
+    system.create_principal("srv")
+    network = SimulatedNetwork()
+    network.add_node("cli")
+    return TrustServer(system, network)
+
+
+def test_load_reply_carries_warning_diagnostics(server):
+    reply = server._dispatch("cli", "load", {
+        "principal": "srv",
+        "source": "r(X) <- s(X), !t(X,Y).\ns(1). t(1,2).",
+    })
+    [warning] = reply["warnings"]
+    assert warning["code"] == "R002"
+    assert warning["severity"] == "warning"
+    assert warning["line"] == 1
+
+
+def test_clean_load_reports_no_warnings(server):
+    reply = server._dispatch("cli", "load", {
+        "principal": "srv",
+        "source": "object(\"f1\").\naccess(P) <- good(P).",
+    })
+    assert reply == {"warnings": []}
+
+
+def test_rejected_load_travels_as_error_reply(server):
+    with pytest.raises(ReproError, match=r"\[R001\]"):
+        server._dispatch("cli", "load", {
+            "principal": "srv", "source": "p(X,Y) <- q(X)."})
+    # over the wire the same failure becomes an ok=False reply
+    frame = encode_request_frame(1, "load", {
+        "principal": "srv", "source": "p(X,Y) <- q(X)."})
+    server.handle("cli", frame)
+    _, _, blob = server.network.deliver_next()
+    request_id, ok, _, error = decode_reply_frame(blob)
+    assert request_id == 1 and not ok
+    assert "[R001]" in error

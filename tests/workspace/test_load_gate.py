@@ -1,0 +1,98 @@
+"""The static-check gate on ``Workspace.load``.
+
+The gate's contract: error diagnostics reject a load by raising the same
+exception type the engine would raise (never a new analysis-specific
+type), the rejection happens *before* anything is installed, and warning
+diagnostics survive in ``last_check`` plus the audit log.
+"""
+
+import pytest
+
+from repro.datalog.errors import (
+    SafetyError,
+    StratificationError,
+    WorkspaceError,
+)
+from repro.workspace.workspace import Workspace
+
+
+class TestRejectPaths:
+    def test_unsafe_rule_raises_safety_error(self):
+        workspace = Workspace("w")
+        with pytest.raises(SafetyError, match="static check rejected"):
+            workspace.load("p(X,Y) <- q(X).")
+        # nothing was installed: the reject happened before the transaction
+        assert not workspace.active_refs()
+        assert workspace.tuples("p") == set()
+
+    def test_unstratifiable_raises_stratification_error(self):
+        workspace = Workspace("w")
+        with pytest.raises(StratificationError, match=r"\[R101\]"):
+            workspace.load("p(X) <- q(X), !r(X).\nr(X) <- p(X).\nq(1).")
+        assert not workspace.active_refs()
+
+    def test_arity_clash_raises_workspace_error(self):
+        workspace = Workspace("w")
+        with pytest.raises(WorkspaceError, match=r"\[R201\]"):
+            workspace.load("f(1).\nf(1,2).")
+        assert workspace.tuples("f") == set()
+
+    def test_all_errors_reported_at_once(self):
+        workspace = Workspace("w")
+        with pytest.raises(SafetyError) as exc:
+            workspace.load("p(X,Y) <- q(X).\nf(1).\nf(1,2).")
+        message = str(exc.value)
+        assert "[R001]" in message and "[R201]" in message
+
+    def test_rejected_load_keeps_prior_state(self):
+        workspace = Workspace("w")
+        workspace.load("good(1).")
+        with pytest.raises(SafetyError):
+            workspace.load("good(2).\np(X,Y) <- q(X).")
+        assert workspace.tuples("good") == {(1,)}
+
+
+class TestWarnPath:
+    WARN_PROGRAM = "r(X) <- s(X), !t(X,Y).\ns(1). t(1,2)."
+
+    def test_warning_program_still_loads(self):
+        workspace = Workspace("w")
+        workspace.load(self.WARN_PROGRAM)
+        assert workspace.tuples("r") == set()  # t(1,2) blocks nothing: !t(1,Y)
+        assert workspace.tuples("s") == {(1,)}
+
+    def test_warnings_land_in_last_check_and_audit(self):
+        workspace = Workspace("w")
+        workspace.load(self.WARN_PROGRAM)
+        codes = [d.code for d in workspace.last_check]
+        assert "R002" in codes
+        events = [e for e in workspace.audit
+                  if e.kind == "static_check_warnings"]
+        assert len(events) == 1
+        assert any("[R002]" in w for w in events[0].detail["warnings"])
+
+    def test_clean_load_resets_last_check_and_skips_audit(self):
+        workspace = Workspace("w")
+        workspace.load(self.WARN_PROGRAM)
+        assert workspace.last_check
+        workspace.load("clean(1).")
+        assert workspace.last_check == []
+        events = [e for e in workspace.audit
+                  if e.kind == "static_check_warnings"]
+        assert len(events) == 1  # only the warning load was logged
+
+
+class TestGateEngineAgreement:
+    """The gate must never reject a program the engine accepts."""
+
+    ACCEPTED = [
+        "p(X) <- q(X), X > 1.\nq(1). q(2).",
+        "p(X) <- q(X), !r(X).\nr(1). q(1).",          # stratified negation
+        "t(X,N) <- agg<<N = count(Y)>> e(X,Y).\ne(1,2).",
+        'says0: says(U1,U2,R) -> prin(U1), prin(U2), rule(R).',
+    ]
+
+    @pytest.mark.parametrize("source", ACCEPTED)
+    def test_engine_accepted_programs_still_load(self, source):
+        workspace = Workspace("w")
+        workspace.load(source)
