@@ -120,11 +120,39 @@ def _one_call(workload: Workload, params: dict) -> BenchCase:
     return case
 
 
+def _peak_memory(workload: Workload, params: dict) -> Optional[int]:
+    """Peak traced allocation of one untimed workload call, in bytes.
+
+    Runs under :mod:`tracemalloc`, whose per-allocation bookkeeping
+    would distort wall-clock numbers badly — so memory gets its own
+    call *after* the timed repeats rather than instrumenting them.
+    Returns None when tracing is already active (a nested bench run
+    would misattribute the outer trace's allocations).
+    """
+    import tracemalloc
+
+    if tracemalloc.is_tracing():
+        return None
+    tracemalloc.start()
+    try:
+        _one_call(workload, params)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
 def time_workload(workload: Workload, params: dict,
                   warmup: Optional[int] = None,
                   repeats: Optional[int] = None) -> Measurement:
     """Measure one sweep point: ``warmup`` throwaway calls, then
-    ``repeats`` timed calls, each with fresh setup."""
+    ``repeats`` timed calls, each with fresh setup.
+
+    After the timed calls, one extra traced call records the workload's
+    peak allocation into the point's metrics as ``peak_mem_bytes``
+    (whole call, setup included — a workload's memory high-water mark
+    does not respect the ``measure()`` region boundaries).
+    """
     warmup = workload.warmup if warmup is None else warmup
     repeats = workload.repeats if repeats is None else repeats
     if repeats < 1:
@@ -141,4 +169,7 @@ def time_workload(workload: Workload, params: dict,
             engine[key] for key in ("rounds", "derivations", "new_facts",
                                     "index_builds", "index_hits",
                                     "literal_scans")) else None
+    peak = _peak_memory(workload, params)
+    if peak is not None:
+        measurement.metrics["peak_mem_bytes"] = peak
     return measurement

@@ -3,8 +3,8 @@
 A :class:`ClusterNode` owns its shard of every partitioned EDB relation
 and runs ordinary semi-naive rounds over the *whole* rule program.  The
 distribution boundary is the engine's per-round delta-exchange hook
-(:attr:`repro.datalog.runtime.EvalContext.remote_emit`): each freshly
-derived fact set is partitioned by owner before assertion —
+(:attr:`repro.datalog.runtime.EvalContext.remote_emit_rows`): each
+freshly derived *id-row* set is partitioned by owner before assertion —
 
 * facts this node owns (or local-mode predicates) join the local delta
   frontier exactly as on a single node;
@@ -12,6 +12,11 @@ derived fact set is partitioned by owner before assertion —
   owner's outbox entry and leave no trace in the local database, so the
   local fixpoint never branches on another shard's state;
 * replicated-predicate facts are both kept and queued to every peer.
+
+Ownership is decided in id space: the partition key is a single column,
+so ``(pred, key id)`` → owner is memoized against the append-only
+interner, and only facts bound for a peer materialize to value tuples
+(they must cross the process boundary as values anyway).
 
 Frontier state crosses the node boundary with zero copies: the outbox
 accumulates plain fact sets, incoming batches are handed to
@@ -40,6 +45,7 @@ from ..datalog.engine import (
 )
 from ..datalog.runtime import EvalContext
 from ..datalog.stratify import stratify
+from ..datalog.errors import ClusterError
 from .partition import MODE_LOCAL, MODE_REPLICATED, Partitioner
 
 
@@ -79,10 +85,18 @@ class ClusterNode:
         self.sent_facts = 0
         self.received_facts = 0
         self._peers = tuple(n for n in partitioner.nodes if n != name)
+        #: (pred, key id) -> owner node.  Ids are stable for the life of
+        #: the database (the interner is append-only), so the placement
+        #: decision for a key is computed at most once per node.
+        self._owner_memo: dict = {}
+        # A single-node cluster owns every fact, so the delta-exchange
+        # hook would be an identity function paid once per derived row;
+        # leave it uninstalled and the engine stays on the plain
+        # single-node id-space path.
         self.context = EvalContext(
             builtins=builtins if builtins is not None else standard_registry(),
             stats=self.stats,
-            remote_emit=self._emit,
+            remote_emit_rows=self._emit_rows if self._peers else None,
         )
 
     # ------------------------------------------------------------------
@@ -104,28 +118,42 @@ class ClusterNode:
     # The delta-exchange hook
     # ------------------------------------------------------------------
 
-    def _emit(self, pred: str, facts: set) -> set:
-        """Partition freshly derived facts by owner; return the local keep."""
+    def _emit_rows(self, pred: str, rows: set) -> set:
+        """Partition freshly derived id rows by owner; return the local
+        keep.  Only rows bound for a peer materialize to value tuples."""
         mode = self.partitioner.mode(pred)
         if mode == MODE_LOCAL:
-            return facts
+            return rows
+        interner = self.db.interner
+        materialize = interner.materialize_row
         if mode == MODE_REPLICATED:
-            for peer in self._peers:
-                self._queue(peer, pred, facts)
-            return facts
-        keep = set()
+            for row in rows:
+                fact = materialize(row)
+                for peer in self._peers:
+                    self._queue_one(peer, pred, fact)
+            return rows
+        key_col = self.partitioner.key_column(pred)
+        owner_of_key = self.partitioner.owner_of_key
+        values = interner.values
+        memo = self._owner_memo
         name = self.name
-        for fact in facts:
-            owner = self.partitioner.owner(pred, fact)
+        keep = set()
+        for row in rows:
+            if key_col >= len(row):
+                raise ClusterError(
+                    f"fact {materialize(row)!r} of {pred!r} has no column "
+                    f"{key_col} to partition on"
+                )
+            memo_key = (pred, row[key_col])
+            owner = memo.get(memo_key)
+            if owner is None:
+                owner = owner_of_key(pred, values[row[key_col]])
+                memo[memo_key] = owner
             if owner == name:
-                keep.add(fact)
+                keep.add(row)
             else:
-                self._queue_one(owner, pred, fact)
+                self._queue_one(owner, pred, materialize(row))
         return keep
-
-    def _queue(self, dst: str, pred: str, facts: Iterable[tuple]) -> None:
-        for fact in facts:
-            self._queue_one(dst, pred, fact)
 
     def _queue_one(self, dst: str, pred: str, fact: tuple) -> None:
         marker = (dst, pred, fact)
@@ -159,7 +187,7 @@ class ClusterNode:
         """Absorb received deltas; returns new local facts.
 
         Novel facts are asserted, recorded as received EDB, and pushed
-        through the strata semi-naive — re-entering ``_emit`` for any
+        through the strata semi-naive — re-entering ``_emit_rows`` for any
         further derivations they enable.
         """
         fresh: FactSet = {}

@@ -227,10 +227,27 @@ class Partitioner:
                 f"fact {fact!r} of {pred!r} has no column {column} "
                 f"to partition on"
             )
-        pinned = self.pins.owner(pred, (fact[column],))
+        return self._owner_of_value(rule, pred, fact[column])
+
+    def owner_of_key(self, pred: str, value) -> Optional[str]:
+        """The owner node by partition-key *value* alone.
+
+        Placement depends only on the key column (:meth:`owner` never
+        reads the other positions), so callers that already hold the key
+        — e.g. the id-space emit path, which memoizes per key id — can
+        skip materializing the rest of the fact.
+        """
+        rule = self._rules.get(pred)
+        if rule is None or rule.mode != MODE_PARTITIONED:
+            return None
+        if len(self.nodes) == 1:
+            return self.nodes[0]
+        return self._owner_of_value(rule, pred, value)
+
+    def _owner_of_value(self, rule, pred: str, value) -> str:
+        pinned = self.pins.owner(pred, (value,))
         if pinned is not None:
             return pinned
-        value = fact[column]
         if rule.boundaries is not None:
             return self.nodes[bisect_left(rule.boundaries, value)]
         return self.nodes[stable_hash(value) % len(self.nodes)]

@@ -120,7 +120,7 @@ def _cached_plan(plan_cache: dict, key: tuple, alternative: tuple,
             # distinct-count statistics landed; band on their cardinality
             bands = tuple(
                 cardinality_band(source if source.__class__ is int
-                                 else len(source.tuples))
+                                 else len(source))
                 for source in sizes.values())
         memoized = size_memo[memo_key] = (sizes, bands)
     sizes, bands = memoized

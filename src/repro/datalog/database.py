@@ -1,21 +1,27 @@
-"""In-memory relations with on-demand hash indexes and COW snapshots.
+"""Interned columnar fact storage: id-space relations with COW snapshots.
 
-A :class:`Relation` is a set of ground tuples plus any number of hash
-indexes keyed by column subsets.  Indexes are built lazily the first time a
-join needs them and are maintained incrementally on insertion, which keeps
-the semi-naive fixpoint loop cheap (the paper's workloads — says/export
-chains — are join-heavy on one or two key columns).
+Ground terms are *interned* at relation boundaries: a per-:class:`Database`
+:class:`TermInterner` maps each distinct ground value to a dense integer
+id (with an inverse table for materialization), so :class:`Relation` rows
+are ``tuple[int, ...]`` and every hash index maps id-keys to id-row
+buckets.  The join core (:mod:`repro.datalog.runtime`) probes and binds in
+id space; boxed Python values are materialized only at output boundaries
+— builtins, comparisons, aggregation, wire encoding, and user-facing
+reads through the value-level API (``tuples``, ``lookup``, iteration).
+
+Why ids win: equality of interned values is equality of small ints, so
+row hashing, index probes and duplicate checks stop touching the boxed
+values entirely; single-column index keys are the bare id (no 1-tuple
+allocation per probe).
 
 Snapshots are **copy-on-write**: :meth:`Relation.view` returns an O(1)
-handle sharing the relation's tuple set *and* its indexes; the first
-mutation through either handle unshares by copying, so unmutated relations
-never pay for a snapshot.  :meth:`Database.snapshot` builds a database of
-views in O(number of relations), and :meth:`Database.restore` keeps the
-live relation object (identity, indexes and all) wherever it still shares
-state with the snapshot — rollback costs O(changed relations), not
-O(total facts).
+handle sharing the relation's row set *and* its indexes; the first
+mutation through either handle unshares by copying, so unmutated
+relations never pay for a snapshot.  The interner itself is **append
+only** — ids are never reassigned or dropped — so snapshots share it by
+reference forever and :meth:`Database.restore` never touches it.
 
-Index maintenance is *checked*: a tuple present in ``tuples`` whose index
+Index maintenance is *checked*: a row present in ``rows`` whose index
 entry is missing raises :class:`~repro.datalog.errors.IndexIntegrityError`
 instead of silently returning wrong join results.
 """
@@ -26,15 +32,18 @@ from typing import Any, Iterable, Iterator, Optional
 
 from .errors import IndexIntegrityError
 
-#: When set, an object with ``index_builds``/``index_hits`` integer
-#: attributes (an :class:`repro.datalog.engine.EvalStats`) that
-#: :meth:`Relation.lookup` increments.  Installed/removed via
-#: :func:`set_index_stats`; the common path pays one ``is None`` check.
+#: When set, an object with integer counter attributes (an
+#: :class:`repro.datalog.engine.EvalStats`) that the storage layer
+#: increments: ``index_builds``/``index_hits`` on :meth:`Relation` index
+#: activity, ``terms_interned``/``intern_hits`` on :class:`TermInterner`
+#: traffic, and ``value_materializations`` on id-row → value-tuple
+#: conversions.  Installed/removed via :func:`set_index_stats`; the
+#: common path pays one ``is None`` check.
 _index_stats: Optional[Any] = None
 
 
 def set_index_stats(stats: Optional[Any]) -> Optional[Any]:
-    """Install ``stats`` as the active index-counter sink; return the old one.
+    """Install ``stats`` as the active storage-counter sink; return the old one.
 
     Callers must restore the returned previous value when done (see
     ``EvalStats.capture_indexes``), so nested captures compose.
@@ -45,63 +54,194 @@ def set_index_stats(stats: Optional[Any]) -> Optional[Any]:
     return previous
 
 
-class Relation:
-    """A named set of equal-length tuples with incremental hash indexes.
+class TermInterner:
+    """A bijection between ground values and dense integer ids.
 
-    ``tuples`` and ``_indexes`` may be shared with other :class:`Relation`
-    handles (``_shared`` is then True); every mutating method unshares
-    first, so holders of other handles never observe the mutation.
+    ``ids`` maps value → id; ``values`` is the inverse table (id → value,
+    a plain list indexed by id).  The table is **append-only**: interning
+    never reassigns or frees an id, so any number of COW snapshots can
+    share one interner by reference and materialize rows years later.
+
+    Interning is keyed on value equality, exactly like the tuple-set
+    storage it replaces: ``1``, ``1.0`` and ``True`` share an id the same
+    way they collided in a ``set`` before.
     """
 
-    __slots__ = ("name", "tuples", "_indexes", "_shared", "_version",
-                 "_col_stats")
+    __slots__ = ("ids", "values")
 
-    def __init__(self, name: str, tuples: Optional[Iterable[tuple]] = None) -> None:
+    def __init__(self) -> None:
+        self.ids: dict[Any, int] = {}
+        self.values: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def intern(self, value: Any) -> int:
+        """The id for ``value``, allocating the next dense id if new."""
+        ids = self.ids
+        found = ids.get(value)
+        if found is not None:
+            if _index_stats is not None:
+                _index_stats.intern_hits += 1
+            return found
+        values = self.values
+        assigned = len(values)
+        ids[value] = assigned
+        values.append(value)
+        if _index_stats is not None:
+            _index_stats.terms_interned += 1
+        return assigned
+
+    def id_of(self, value: Any) -> Optional[int]:
+        """The id for ``value``, or None — never allocates (lookups)."""
+        return self.ids.get(value)
+
+    def intern_row(self, fact: tuple) -> tuple:
+        """Intern every term of a ground fact: value tuple → id row."""
+        try:
+            # All-hits fast path: direct subscript, no per-term call.
+            row = tuple([self.ids[value] for value in fact])
+        except KeyError:
+            intern = self.intern
+            return tuple([intern(value) for value in fact])
+        if _index_stats is not None:
+            _index_stats.intern_hits += len(fact)
+        return row
+
+    def row_of(self, fact: tuple) -> Optional[tuple]:
+        """The id row for ``fact``, or None if any term was never interned.
+
+        The non-creating twin of :meth:`intern_row`: membership tests and
+        discards use it so probing for unknown values cannot grow the
+        table.
+        """
+        try:
+            return tuple([self.ids[value] for value in fact])
+        except KeyError:
+            return None
+
+    def materialize_row(self, row: tuple) -> tuple:
+        """Id row → value tuple (an output-boundary conversion)."""
+        values = self.values
+        if _index_stats is not None:
+            _index_stats.value_materializations += 1
+        return tuple([values[i] for i in row])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TermInterner({len(self.values)} terms)"
+
+
+def _row_key(row: tuple, positions: tuple):
+    """The index key of ``row`` at ``positions``.
+
+    Single-column indexes are keyed by the **bare id** — the hot probe
+    path then hashes one small int instead of allocating a 1-tuple per
+    probe.  Multi-column keys are id tuples in position order.
+    """
+    if len(positions) == 1:
+        return row[positions[0]]
+    return tuple([row[p] for p in positions])
+
+
+class Relation:
+    """A named set of equal-length id rows with incremental hash indexes.
+
+    ``rows`` holds ``tuple[int, ...]`` rows over the shared ``interner``;
+    ``rows`` and ``_indexes`` may be shared with other :class:`Relation`
+    handles (``_shared`` is then True); every mutating method unshares
+    first, so holders of other handles never observe the mutation.
+
+    The value-level API (``tuples``, ``add``, ``discard``, ``lookup``,
+    iteration, membership) interns/materializes at the boundary; the
+    id-level API (``rows``, ``add_row``, ``discard_row``,
+    ``bucket_rows``) is the join core's hot path.
+    """
+
+    __slots__ = ("name", "rows", "interner", "_indexes", "_shared",
+                 "_version", "_col_stats", "_values", "_buckets")
+
+    def __init__(self, name: str, tuples: Optional[Iterable[tuple]] = None,
+                 interner: Optional[TermInterner] = None) -> None:
         self.name = name
-        self.tuples: set[tuple] = set(tuples) if tuples else set()
-        self._indexes: dict[tuple, dict[tuple, list[tuple]]] = {}
+        self.interner = interner if interner is not None else TermInterner()
+        intern_row = self.interner.intern_row
+        self.rows: set[tuple] = (
+            {intern_row(fact) for fact in tuples} if tuples else set())
+        self._indexes: dict[tuple, dict[Any, list[tuple]]] = {}
         self._shared = False
         self._version = 0
         self._col_stats: dict[int, tuple[int, int]] = {}
+        self._values: Optional[tuple[int, set]] = None
+        self._buckets: Optional[tuple[int, dict]] = None
 
     @classmethod
-    def wrap(cls, name: str, tuples: set) -> "Relation":
-        """A COW relation over an existing set — no copy up front.
+    def wrap(cls, name: str, tuples: set,
+             interner: Optional[TermInterner] = None) -> "Relation":
+        """A relation over an existing *value* set — the donor is never
+        mutated.  Terms are interned up front (into ``interner`` when
+        given, else a private table); the id-row hot path
+        (:meth:`wrap_rows`) is what the engine's delta exchange uses."""
+        relation = cls.__new__(cls)
+        relation.name = name
+        relation.interner = interner if interner is not None else TermInterner()
+        intern_row = relation.interner.intern_row
+        relation.rows = {intern_row(fact) for fact in tuples}
+        relation._indexes = {}
+        relation._shared = False
+        relation._version = 0
+        relation._col_stats = {}
+        relation._values = None
+        relation._buckets = None
+        return relation
+
+    @classmethod
+    def wrap_rows(cls, name: str, rows: set,
+                  interner: TermInterner) -> "Relation":
+        """A COW relation adopting an existing *id-row* set — no copy.
 
         The donor set is adopted as shared state: reads (including lazy
         index builds) touch it directly, while the first mutation copies,
-        leaving the donor untouched.  Used for semi-naive delta relations,
-        which are read-heavy and usually never mutated.
+        leaving the donor untouched.  Used for semi-naive delta
+        relations, which are read-heavy and usually never mutated; the
+        rows must be interned against ``interner`` (the database's, so
+        id-space probes against them are meaningful).
         """
         relation = cls.__new__(cls)
         relation.name = name
-        relation.tuples = tuples
+        relation.interner = interner
+        relation.rows = rows
         relation._indexes = {}
         relation._shared = True
         relation._version = 0
         relation._col_stats = {}
+        relation._values = None
+        relation._buckets = None
         return relation
 
     def view(self) -> "Relation":
         """An O(1) copy-on-write handle onto this relation's state.
 
-        Both handles share tuples and indexes until one of them mutates;
-        the mutating side copies its state first (see :meth:`_unshare`),
-        so the other side keeps the pre-mutation contents.
+        Both handles share rows and indexes (and the append-only
+        interner, which is never copied) until one of them mutates; the
+        mutating side copies its state first (see :meth:`_unshare`), so
+        the other side keeps the pre-mutation contents.
 
         Per-column distinct counts are shared too — same dict, same
         version tag — so statistics computed through *either* handle
         (e.g. the planner costing a magic-sets overlay) serve every
         handle of the unmutated state; the first mutation takes a
-        private copy along with the tuples.
+        private copy along with the rows.
         """
         other = Relation.__new__(Relation)
         other.name = self.name
-        other.tuples = self.tuples
+        other.interner = self.interner
+        other.rows = self.rows
         other._indexes = self._indexes
         other._shared = True
         other._version = self._version
         other._col_stats = self._col_stats
+        other._values = self._values
+        other._buckets = self._buckets
         self._shared = True
         return other
 
@@ -110,8 +250,8 @@ class Relation:
         return self.view()
 
     def _unshare(self) -> None:
-        """Take private ownership of tuples and indexes before a mutation."""
-        self.tuples = set(self.tuples)
+        """Take private ownership of rows and indexes before a mutation."""
+        self.rows = set(self.rows)
         self._indexes = {
             positions: {key: list(bucket) for key, bucket in index.items()}
             for positions, index in self._indexes.items()
@@ -119,103 +259,230 @@ class Relation:
         self._col_stats = dict(self._col_stats)
         self._shared = False
 
+    # ------------------------------------------------------------------
+    # Value-level API (interns / materializes at the boundary)
+    # ------------------------------------------------------------------
+
+    @property
+    def tuples(self) -> set:
+        """The relation's contents as a set of *value* tuples.
+
+        Materialized lazily from the id rows and cached until the next
+        mutation, so repeated reads of a quiescent relation pay one
+        conversion.  Callers must treat the set as read-only.
+        """
+        cached = self._values
+        version = self._version
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        values = self.interner.values
+        materialized = {tuple([values[i] for i in row]) for row in self.rows}
+        if _index_stats is not None:
+            _index_stats.value_materializations += len(materialized)
+        self._values = (version, materialized)
+        return materialized
+
     def __len__(self) -> int:
-        return len(self.tuples)
+        return len(self.rows)
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.tuples)
 
     def __contains__(self, item: tuple) -> bool:
-        return item in self.tuples
+        row = self.interner.row_of(item)
+        return row is not None and row in self.rows
 
     def add(self, item: tuple) -> bool:
-        """Insert a tuple; return True if it was new."""
-        if item in self.tuples:
-            return False
-        if self._shared:
-            self._unshare()
-        self._version += 1
-        self.tuples.add(item)
-        for positions, index in self._indexes.items():
-            key = tuple([item[p] for p in positions])
-            bucket = index.get(key)
-            if bucket is None:
-                index[key] = [item]
-            else:
-                bucket.append(item)
-        return True
+        """Insert a value tuple; return True if it was new."""
+        return self.add_row(self.interner.intern_row(item))
 
     def discard(self, item: tuple) -> bool:
-        """Remove a tuple; return True if it was present.
+        """Remove a value tuple; return True if it was present."""
+        row = self.interner.row_of(item)
+        if row is None:
+            return False
+        return self.discard_row(row)
 
-        Every maintained index must agree with ``tuples``; a missing
-        bucket or bucket entry means maintenance went wrong somewhere and
-        raises :class:`IndexIntegrityError` rather than silently leaving
-        the index disagreeing with the tuple set.
+    def lookup(self, positions: tuple, key: tuple) -> list[tuple]:
+        """All value tuples whose ``positions`` columns equal ``key``.
+
+        Probes the id-space index (the key is interned without ever
+        growing the table — unknown values simply match nothing) and
+        materializes the hits in one pass.  The result is immutable —
+        callers must not mutate it: it is cached per (positions, key)
+        until the relation's next mutation, so repeated probes of a
+        quiescent relation (negation checks, constraint sweeps) pay one
+        materialization.  It is independent of the live bucket by
+        construction — later mutations of the relation do not affect
+        it, so callers may interleave iteration with insertions into
+        this very relation.
         """
-        if item not in self.tuples:
+        id_of = self.interner.id_of
+        if len(positions) == 1:
+            id_key = id_of(key[0])
+            if id_key is None:
+                return []
+        else:
+            id_key_list = []
+            for value in key:
+                found = id_of(value)
+                if found is None:
+                    return []
+                id_key_list.append(found)
+            id_key = tuple(id_key_list)
+        cache = self._buckets
+        version = self._version
+        if cache is None or cache[0] != version:
+            cache = (version, {})
+            self._buckets = cache
+        cache_key = (positions, id_key)
+        hit = cache[1].get(cache_key)
+        if hit is not None:
+            # A memoized probe still counts as an index hit: the bucket
+            # was answered from index-derived state, just without paying
+            # re-materialization.
+            if _index_stats is not None:
+                _index_stats.index_hits += 1
+            return hit
+        bucket = self.bucket_rows(positions, id_key)
+        if bucket:
+            values = self.interner.values
+            if _index_stats is not None:
+                _index_stats.value_materializations += len(bucket)
+            result = [tuple([values[i] for i in row]) for row in bucket]
+        else:
+            result = []
+        cache[1][cache_key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Id-level API (the join core's hot path)
+    # ------------------------------------------------------------------
+
+    def add_row(self, row: tuple) -> bool:
+        """Insert an id row; return True if it was new."""
+        if row in self.rows:
             return False
         if self._shared:
             self._unshare()
         self._version += 1
-        self.tuples.discard(item)
+        self.rows.add(row)
         for positions, index in self._indexes.items():
-            key = tuple([item[p] for p in positions])
+            key = row[positions[0]] if len(positions) == 1 \
+                else tuple([row[p] for p in positions])
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [row]
+            else:
+                bucket.append(row)
+        return True
+
+    def add_rows(self, rows: set) -> set:
+        """Bulk :meth:`add_row`: insert many id rows, return the new ones.
+
+        The dedup against existing rows is one C-level set difference
+        (the semi-naive merge loop calls this once per rule application
+        instead of paying a Python call per derived fact); index
+        maintenance runs only over the genuinely fresh rows.
+        """
+        fresh = rows - self.rows
+        if not fresh:
+            return fresh
+        if self._shared:
+            self._unshare()
+        self._version += 1
+        self.rows |= fresh
+        for positions, index in self._indexes.items():
+            single = len(positions) == 1
+            column = positions[0]
+            for row in fresh:
+                key = row[column] if single \
+                    else tuple([row[p] for p in positions])
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [row]
+                else:
+                    bucket.append(row)
+        return fresh
+
+    def discard_row(self, row: tuple) -> bool:
+        """Remove an id row; return True if it was present.
+
+        Every maintained index must agree with ``rows``; a missing
+        bucket or bucket entry means maintenance went wrong somewhere and
+        raises :class:`IndexIntegrityError` rather than silently leaving
+        the index disagreeing with the row set.
+        """
+        if row not in self.rows:
+            return False
+        if self._shared:
+            self._unshare()
+        self._version += 1
+        self.rows.discard(row)
+        for positions, index in self._indexes.items():
+            key = _row_key(row, positions)
             bucket = index.get(key)
             if bucket is None:
                 raise IndexIntegrityError(
                     f"relation {self.name!r}: index {positions} has no bucket "
-                    f"for {item!r}"
+                    f"for {row!r}"
                 )
             try:
-                bucket.remove(item)
+                bucket.remove(row)
             except ValueError:
                 raise IndexIntegrityError(
                     f"relation {self.name!r}: index {positions} bucket is "
-                    f"missing {item!r}"
+                    f"missing {row!r}"
                 ) from None
             if not bucket:
                 del index[key]
         return True
 
-    def lookup(self, positions: tuple, key: tuple) -> list[tuple]:
-        """All tuples whose ``positions`` columns equal ``key`` (indexed).
+    def index_for(self, positions: tuple) -> dict:
+        """The live id-row hash index on ``positions`` (built on first use).
 
-        Returns a *stable* list: later mutations of the relation do not
-        affect it, so callers may interleave iteration with insertions
-        into this very relation.
-        """
-        bucket = self.live_bucket(positions, key)
-        return list(bucket) if bucket else []
-
-    def live_bucket(self, positions: tuple, key: tuple):
-        """The raw index bucket for ``key`` (no defensive copy).
-
-        Zero-copy fast path for the engine's staged rule application,
-        where the relation is by contract not mutated while the bucket is
-        being iterated.  Anyone who may mutate between reads must use
-        :meth:`lookup` instead.  Returns ``()`` on a miss.
+        Returns the raw ``key -> bucket`` dict so hot join loops can bind
+        ``index.get`` once per rule application instead of paying a
+        method call per probe; counts one ``index_builds`` or
+        ``index_hits`` per call, so the flat join core's prefetch counts
+        index traffic per rule application while per-probe callers
+        (:meth:`bucket_rows`, :meth:`lookup`) keep per-probe counts.
+        Keys are bare ids for single-column indexes, id tuples otherwise.
         """
         index = self._indexes.get(positions)
         if index is None:
             index = {}
-            for item in self.tuples:
-                item_key = tuple([item[p] for p in positions])
-                bucket = index.get(item_key)
+            single = len(positions) == 1
+            column = positions[0]
+            for row in self.rows:
+                row_key = row[column] if single \
+                    else tuple([row[p] for p in positions])
+                bucket = index.get(row_key)
                 if bucket is None:
-                    index[item_key] = [item]
+                    index[row_key] = [row]
                 else:
-                    bucket.append(item)
+                    bucket.append(row)
             self._indexes[positions] = index
             if _index_stats is not None:
                 _index_stats.index_builds += 1
         elif _index_stats is not None:
             _index_stats.index_hits += 1
-        return index.get(key, ())
+        return index
+
+    def bucket_rows(self, positions: tuple, id_key):
+        """The raw id-row index bucket for ``id_key`` (no copy).
+
+        Zero-copy fast path for the engine's staged rule application,
+        where the relation is by contract not mutated while the bucket
+        is being iterated.  ``id_key`` is a bare id for single-column
+        indexes, an id tuple otherwise.  Returns ``()`` on a miss.
+        """
+        return self.index_for(positions).get(id_key, ())
 
     def distinct_count(self, position: int) -> int:
         """Number of distinct values in one column (cached per version).
 
+        Interning is a bijection, so distinct ids ≡ distinct values.
         Feeds the join cost model's per-column selectivity (``1/distinct``
         rather than an assumed constant).  An existing single-column hash
         index answers in O(1); otherwise one scan computes the count, and
@@ -230,7 +497,7 @@ class Relation:
             count = len(index)
         else:
             count = len({
-                row[position] for row in self.tuples if len(row) > position
+                row[position] for row in self.rows if len(row) > position
             })
             if _index_stats is not None:
                 _index_stats.column_stats_built += 1
@@ -238,22 +505,28 @@ class Relation:
         return count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Relation({self.name}, {len(self.tuples)} tuples)"
+        return f"Relation({self.name}, {len(self.rows)} rows)"
 
 
 class Database:
-    """A mutable mapping from predicate name to :class:`Relation`."""
+    """A mutable mapping from predicate name to :class:`Relation`.
 
-    __slots__ = ("relations",)
+    All relations (and every snapshot taken from this database) share one
+    append-only :class:`TermInterner`, so id rows are comparable across
+    relations, deltas, and COW overlays.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("relations", "interner")
+
+    def __init__(self, interner: Optional[TermInterner] = None) -> None:
         self.relations: dict[str, Relation] = {}
+        self.interner = interner if interner is not None else TermInterner()
 
     def rel(self, name: str) -> Relation:
         """The relation for ``name``, created empty on first reference."""
         relation = self.relations.get(name)
         if relation is None:
-            relation = Relation(name)
+            relation = Relation(name, interner=self.interner)
             self.relations[name] = relation
         return relation
 
@@ -281,12 +554,12 @@ class Database:
         """A copy-on-write snapshot: O(number of relations), not O(facts).
 
         The snapshot shares every relation's state through
-        :meth:`Relation.view`; mutations on either side unshare just the
-        touched relation.  Also serves as a cheap *overlay* (a scratch
-        database seeded with this one's contents — see
+        :meth:`Relation.view` and the interner by reference (append-only,
+        so it never needs copying).  Also serves as a cheap *overlay* (a
+        scratch database seeded with this one's contents — see
         :func:`repro.datalog.magic.query_magic`).
         """
-        copy = Database()
+        copy = Database(interner=self.interner)
         relations = copy.relations
         for name, relation in self.relations.items():
             relations[name] = relation.view()
@@ -304,7 +577,7 @@ class Database:
         live_map = self.relations
         for name, snap_rel in snapshot.relations.items():
             live = live_map.get(name)
-            if live is not None and live.tuples is snap_rel.tuples:
+            if live is not None and live.rows is snap_rel.rows:
                 relations[name] = live
             else:
                 relations[name] = snap_rel.view()

@@ -91,6 +91,7 @@ class EngineRule:
     _plans: dict = field(default_factory=dict, repr=False)
     _size_preds: Optional[tuple] = field(default=None, repr=False)
     _head_ctor: Any = field(default=False, repr=False)
+    _positive_positions: Optional[list] = field(default=None, repr=False)
 
     @property
     def heads(self) -> tuple:
@@ -114,6 +115,7 @@ class EngineRule:
             preds = self._size_preds = tuple(dict.fromkeys(
                 item.atom.pred for item in self.body
                 if isinstance(item, Literal) and not item.negated))
+        sized = False
         if db is None or len(preds) <= 1:
             # One distinct positive predicate: every candidate literal has
             # the same cardinality, so the cost model cannot change the
@@ -121,26 +123,30 @@ class EngineRule:
             key = (delta_position, None)
         else:
             relations = db.relations
-            sizes = {}
             signature = []
             for pred in preds:
                 relation = relations.get(pred)
-                size = len(relation.tuples) if relation is not None else 0
-                # The live relation itself goes to the cost model (it can
-                # answer per-column distinct counts); the cache key stays
-                # a coarse size band.
-                sizes[pred] = relation if relation is not None else 0
-                signature.append(cardinality_band(size))
+                signature.append(cardinality_band(
+                    len(relation) if relation is not None else 0))
             if max(signature) <= 1:
                 # Everything is small: any order is fine, so share one
                 # greedy plan instead of churning sized plans while the
                 # relations fill up.
-                sizes = None
                 key = (delta_position, None)
             else:
+                sized = True
                 key = (delta_position, tuple(signature))
         plan = self._plans.get(key)
         if plan is None:
+            if sized:
+                # The live relations go to the cost model (they answer
+                # per-column distinct counts); built only on a cache
+                # miss — the hot path is a band-keyed hit.
+                relations = db.relations
+                sizes = {
+                    pred: relations.get(pred) if pred in relations else 0
+                    for pred in preds
+                }
             plan = build_plan(self.body, first=delta_position,
                               builtins=context.builtins, sizes=sizes)
             cache_plan_bounded(self._plans, key, plan,
@@ -176,7 +182,7 @@ class EngineRule:
             if pred not in shrunk:
                 continue
             relation = relations.get(pred)
-            size = len(relation.tuples) if relation is not None else 0
+            size = len(relation) if relation is not None else 0
             stale_slots.append((index, cardinality_band(size)))
         if not stale_slots:
             return 0
@@ -190,10 +196,13 @@ class EngineRule:
         return len(stale_keys)
 
     def positive_positions(self) -> list[int]:
-        return [
-            index for index, item in enumerate(self.body)
-            if isinstance(item, Literal) and not item.negated
-        ]
+        positions = self._positive_positions
+        if positions is None:
+            positions = self._positive_positions = [
+                index for index, item in enumerate(self.body)
+                if isinstance(item, Literal) and not item.negated
+            ]
+        return positions
 
     def body_preds(self) -> set:
         return {
@@ -281,6 +290,15 @@ class EvalStats:
     * ``index_builds`` / ``index_hits`` — :meth:`Relation.lookup` activity
       while this instance is installed via :meth:`capture_indexes` (the
       engine installs it for the duration of each stratum pass);
+    * ``terms_interned`` / ``intern_hits`` — :class:`TermInterner` traffic
+      while installed: new ids allocated vs values already interned;
+    * ``id_joins`` — indexed id-space probes issued by the flat join core
+      (:func:`repro.datalog.runtime.run_flat`), i.e. joins that never
+      touched a boxed value;
+    * ``value_materializations`` — id rows (or whole relations' worth of
+      rows, counted per row) converted back to boxed value tuples at an
+      output boundary: ``Relation.tuples`` / ``lookup`` reads, stratum
+      results, remote-emit hand-off;
     * ``literal_scans`` / ``full_scans`` — positive-literal matches issued
       by the join core, and how many of those had no bound column and had
       to scan the whole relation;
@@ -322,6 +340,10 @@ class EvalStats:
     new_facts: int = 0
     index_builds: int = 0
     index_hits: int = 0
+    terms_interned: int = 0
+    intern_hits: int = 0
+    id_joins: int = 0
+    value_materializations: int = 0
     literal_scans: int = 0
     full_scans: int = 0
     plans_built: int = 0
@@ -361,7 +383,12 @@ class EvalStats:
         snapshot = EvalStats(
             rounds=self.rounds, derivations=self.derivations,
             new_facts=self.new_facts, index_builds=self.index_builds,
-            index_hits=self.index_hits, literal_scans=self.literal_scans,
+            index_hits=self.index_hits,
+            terms_interned=self.terms_interned,
+            intern_hits=self.intern_hits,
+            id_joins=self.id_joins,
+            value_materializations=self.value_materializations,
+            literal_scans=self.literal_scans,
             full_scans=self.full_scans, plans_built=self.plans_built,
             plan_cache_hits=self.plan_cache_hits,
             reorder_wins=self.reorder_wins,
@@ -392,6 +419,11 @@ class EvalStats:
             new_facts=self.new_facts - before.new_facts,
             index_builds=self.index_builds - before.index_builds,
             index_hits=self.index_hits - before.index_hits,
+            terms_interned=self.terms_interned - before.terms_interned,
+            intern_hits=self.intern_hits - before.intern_hits,
+            id_joins=self.id_joins - before.id_joins,
+            value_materializations=self.value_materializations
+            - before.value_materializations,
             literal_scans=self.literal_scans - before.literal_scans,
             full_scans=self.full_scans - before.full_scans,
             plans_built=self.plans_built - before.plans_built,
@@ -424,6 +456,10 @@ class EvalStats:
         self.new_facts += other.new_facts
         self.index_builds += other.index_builds
         self.index_hits += other.index_hits
+        self.terms_interned += other.terms_interned
+        self.intern_hits += other.intern_hits
+        self.id_joins += other.id_joins
+        self.value_materializations += other.value_materializations
         self.literal_scans += other.literal_scans
         self.full_scans += other.full_scans
         self.plans_built += other.plans_built
@@ -451,6 +487,10 @@ class EvalStats:
             "new_facts": self.new_facts,
             "index_builds": self.index_builds,
             "index_hits": self.index_hits,
+            "terms_interned": self.terms_interned,
+            "intern_hits": self.intern_hits,
+            "id_joins": self.id_joins,
+            "value_materializations": self.value_materializations,
             "literal_scans": self.literal_scans,
             "full_scans": self.full_scans,
             "plans_built": self.plans_built,
@@ -478,16 +518,21 @@ def apply_rule(rule: EngineRule, db: Database, context: EvalContext,
                delta: Optional[FactSet] = None,
                delta_position: Optional[int] = None,
                provenance: Optional[ProvenanceStore] = None,
-               stats: Optional[EvalStats] = None) -> set:
+               stats: Optional[EvalStats] = None,
+               as_rows: bool = False) -> set:
     """All head tuples derivable by one rule (optionally delta-restricted).
 
-    Returns tuples *not yet present* in the database.  Does not mutate the
-    database — callers merge the result so rounds stay well-defined.
-    ``delta`` values may be fact sets or prebuilt :class:`Relation` objects
-    (the stratum loop passes COW-wrapped relations so they are built once
-    per round, not once per rule application).
+    Returns tuples *not yet present* in the database — value tuples by
+    default, interned id rows over ``db.interner`` with ``as_rows=True``
+    (the stratum loop's currency, skipping the materialize/re-intern
+    round-trip on the hot path).  Does not mutate the database — callers
+    merge the result so rounds stay well-defined.  ``delta`` values may
+    be fact sets or prebuilt :class:`Relation` objects (the stratum loop
+    passes COW-wrapped relations so they are built once per round, not
+    once per rule application); wrapped delta relations share
+    ``db.interner`` so the flat path can probe them in id space.
     """
-    produced: set = set()
+    interner = db.interner
     head_relation = db.rel(rule.head.pred)
     delta_relations: Optional[dict[str, Relation]] = None
     if delta is not None:
@@ -496,7 +541,7 @@ def apply_rule(rule: EngineRule, db: Database, context: EvalContext,
         else:
             delta_relations = {
                 pred: (facts if isinstance(facts, Relation)
-                       else Relation.wrap(pred, facts))
+                       else Relation.wrap(pred, facts, interner))
                 for pred, facts in delta.items()
             }
     plan = rule.plan(context, delta_position, db=db, stats=stats)
@@ -506,22 +551,28 @@ def apply_rule(rule: EngineRule, db: Database, context: EvalContext,
         flat = plan.flat()
         spec = _flat_head_spec(rule, flat) if flat is not None else None
         if spec is not None:
+            produced_rows: set = set()
             fired = _apply_rule_flat(flat, spec, db, context, delta_relations,
-                                     delta_position, head_relation, produced)
+                                     delta_position, head_relation,
+                                     produced_rows)
             if stats is not None and fired:
                 stats.derivations += fired
                 stats.fire(rule.label or rule.head.pred, fired)
-            return produced
-        head_tuples = head_relation.tuples
+            if as_rows:
+                return produced_rows
+            materialize = interner.materialize_row
+            return {materialize(row) for row in produced_rows}
+        produced: set = set()
         for bindings in solve(rule.body, db, context, plan=plan,
                               delta=delta_relations,
                               delta_position=delta_position):
             fact = head_ctor(bindings)
             fired += 1
-            if fact in head_tuples or fact in produced:
+            if fact in head_relation or fact in produced:
                 continue
             produced.add(fact)
     else:
+        produced = set()
         solutions = solve(rule.body, db, context, plan=plan,
                           delta=delta_relations, delta_position=delta_position)
         for bindings in solutions:
@@ -537,6 +588,9 @@ def apply_rule(rule: EngineRule, db: Database, context: EvalContext,
     if stats is not None and fired:
         stats.derivations += fired
         stats.fire(rule.label or rule.head.pred, fired)
+    if as_rows:
+        intern_row = interner.intern_row
+        return {intern_row(fact) for fact in produced}
     return produced
 
 
@@ -567,21 +621,20 @@ def _flat_head_spec(rule: EngineRule, flat) -> Optional[tuple]:
 def _apply_rule_flat(flat, spec: tuple, db: Database, context: EvalContext,
                      delta_relations, delta_position,
                      head_relation: Relation, produced: set) -> int:
-    """Register-based rule application; returns the number of firings."""
-    head_tuples = head_relation.tuples
-    fired = 0
+    """Register-based rule application entirely in id space.
 
-    def emit(registers: list) -> None:
-        nonlocal fired
-        fired += 1
-        fact = tuple([registers[payload] if is_slot else payload
-                      for is_slot, payload in spec])
-        if fact in head_tuples or fact in produced:
-            return
-        produced.add(fact)
-
-    run_flat(flat, db, context, delta_relations, delta_position, emit)
-    return fired
+    ``produced`` collects id rows over ``db.interner``; head constants
+    are interned per call (never baked into the cached plan — plans are
+    shared across databases with different interners).  Emission and
+    against-the-head dedup happen inside :func:`run_flat` itself.
+    Returns the number of firings.
+    """
+    intern = db.interner.intern
+    id_spec = tuple(
+        (is_slot, payload if is_slot else intern(payload))
+        for is_slot, payload in spec)
+    return run_flat(flat, db, context, delta_relations, delta_position,
+                    id_spec, head_relation.rows, produced)
 
 
 def _record_provenance(provenance: ProvenanceStore, rule: EngineRule,
@@ -684,55 +737,86 @@ def eval_stratum(stratum: Stratum, db: Database, context: EvalContext,
     stats = stats if stats is not None else EvalStats()
     record = StratumStats(number=stratum.number)
     started = perf_counter()
-    added: FactSet = {}
+    interner = db.interner
+    intern_row = interner.intern_row
+    #: pred -> set of id rows; the stratum loop's internal currency —
+    #: derivation, dedup, merge and delta exchange all stay in id space,
+    #: and values are materialized once at the return boundary.
+    added_rows: dict[str, set] = {}
     remote_emit = context.remote_emit
+    remote_emit_rows = context.remote_emit_rows
 
-    def merge(new_facts: set, pred: str, delta_pool: FactSet) -> None:
-        if not new_facts:
+    def merge(new_rows: set, pred: str, delta_pool: dict) -> None:
+        if not new_rows:
             return
-        if remote_emit is not None:
+        if remote_emit_rows is not None:
+            # Id-space delta exchange: the hook decides ownership on id
+            # rows directly and materializes only the facts it ships to
+            # a remote owner, so locally-kept derivations never leave id
+            # space.
+            kept_rows = remote_emit_rows(pred, new_rows)
+            stats.remote_emissions += len(new_rows) - len(kept_rows)
+            if not kept_rows:
+                return
+            new_rows = kept_rows
+        elif remote_emit is not None:
             # Distributed evaluation: facts owned by another node are
             # diverted to its outbox instead of asserted here; only the
             # locally-owned remainder joins this node's delta frontier.
+            # The hook speaks values (facts cross process boundaries), so
+            # this is a materialization boundary.
+            materialize = interner.materialize_row
+            new_facts = {materialize(row) for row in new_rows}
             kept = remote_emit(pred, new_facts)
             stats.remote_emissions += len(new_facts) - len(kept)
-            new_facts = kept
-            if not new_facts:
+            if not kept:
                 return
-        relation = db.rel(pred)
-        fresh = [fact for fact in new_facts if relation.add(fact)]
+            if len(kept) != len(new_facts):
+                new_rows = {intern_row(fact) for fact in kept}
+        fresh = db.rel(pred).add_rows(new_rows)
         if fresh:
-            added.setdefault(pred, set()).update(fresh)
-            delta_pool.setdefault(pred, set()).update(fresh)
+            added_rows.setdefault(pred, set()).update(fresh)
+            # The delta pool takes ownership of ``fresh`` (a set
+            # ``add_rows`` built for us) instead of copying it — the
+            # common case is one rule per head predicate per round.
+            pooled = delta_pool.get(pred)
+            if pooled is None:
+                delta_pool[pred] = fresh
+            else:
+                pooled.update(fresh)
             stats.new_facts += len(fresh)
 
     with stats.capture_indexes():
         # 1. Aggregate rules: bodies live strictly below this stratum.
-        delta: FactSet = {}
+        delta: dict[str, set] = {}
         for rule in stratum.agg_rules:
-            merge(apply_aggregate_rule(rule, db, context, stats),
+            agg_facts = apply_aggregate_rule(rule, db, context, stats)
+            merge({intern_row(fact) for fact in agg_facts},
                   rule.head.pred, delta)
 
         # 2. Initial pass.
         if changed is None:
             for rule in stratum.rules:
                 merge(apply_rule(rule, db, context, provenance=provenance,
-                                 stats=stats), rule.head.pred, delta)
+                                 stats=stats, as_rows=True),
+                      rule.head.pred, delta)
         else:
             for pred, facts in changed.items():
-                delta.setdefault(pred, set()).update(facts)
+                delta.setdefault(pred, set()).update(
+                    intern_row(fact) for fact in facts)
             record.rounds += 1
             record.delta_sizes.append(
-                sum(len(facts) for facts in delta.values()))
-            delta_rels = {pred: Relation.wrap(pred, facts)
-                          for pred, facts in delta.items()}
-            next_delta: FactSet = {}
+                sum(len(rows) for rows in delta.values()))
+            delta_rels = {pred: Relation.wrap_rows(pred, rows, interner)
+                          for pred, rows in delta.items()}
+            next_delta: dict[str, set] = {}
             for rule in stratum.rules:
                 for position in rule.positive_positions():
                     literal = rule.body[position]
                     if literal.atom.pred in delta:
                         merge(apply_rule(rule, db, context, delta_rels,
-                                         position, provenance, stats),
+                                         position, provenance, stats,
+                                         as_rows=True),
                               rule.head.pred, next_delta)
             delta = next_delta
 
@@ -741,18 +825,34 @@ def eval_stratum(stratum: Stratum, db: Database, context: EvalContext,
             stats.rounds += 1
             record.rounds += 1
             record.delta_sizes.append(
-                sum(len(facts) for facts in delta.values()))
-            delta_rels = {pred: Relation.wrap(pred, facts)
-                          for pred, facts in delta.items()}
+                sum(len(rows) for rows in delta.values()))
+            delta_rels = {pred: Relation.wrap_rows(pred, rows, interner)
+                          for pred, rows in delta.items()}
             next_delta = {}
             for rule in stratum.rules:
                 for position in rule.positive_positions():
                     literal = rule.body[position]
                     if literal.atom.pred in delta:
                         merge(apply_rule(rule, db, context, delta_rels,
-                                         position, provenance, stats),
+                                         position, provenance, stats,
+                                         as_rows=True),
                               rule.head.pred, next_delta)
             delta = next_delta
+
+        # Output boundary: the stratum's result is a value-space FactSet.
+        # Materialization is inlined with the counter batched, not paid
+        # per row; binary facts (the overwhelmingly common arity) take a
+        # tuple-unpacking comprehension — no inner list, no tuple() call.
+        term_values = interner.values
+        added: FactSet = {}
+        for pred, rows in added_rows.items():
+            try:
+                added[pred] = {
+                    (term_values[a], term_values[b]) for a, b in rows}
+            except ValueError:      # mixed or non-binary arity
+                added[pred] = {
+                    tuple([term_values[i] for i in row]) for row in rows}
+            stats.value_materializations += len(rows)
 
     record.elapsed = perf_counter() - started
     record.new_facts = sum(len(facts) for facts in added.values())

@@ -128,7 +128,7 @@ def _dred_stratum(stratum: Stratum, db: Database, context: EvalContext,
     }
     while frontier:
         next_frontier: FactSet = {}
-        delta_rels = {pred: Relation.wrap(pred, facts)
+        delta_rels = {pred: Relation.wrap(pred, facts, shadow.interner)
                       for pred, facts in frontier.items()}
         for rule in stratum.rules:
             for position, item in enumerate(rule.body):

@@ -38,28 +38,35 @@ def evaluate_naive(rules: Iterable[Rule], db: Database,
         engine_rules = normalize_rules(rule_list)
     strata = stratify(engine_rules)
     stats = stats if stats is not None else EvalStats()
-    added: dict[str, set] = {}
+    interner = db.interner
+    added_rows: dict[str, set] = {}
+
+    def merge(pred: str, new_rows: set) -> bool:
+        fresh = db.rel(pred).add_rows(new_rows)
+        if not fresh:
+            return False
+        added_rows.setdefault(pred, set()).update(fresh)
+        stats.new_facts += len(fresh)
+        return True
 
     for stratum in strata:
         for rule in stratum.agg_rules:
             new_facts = apply_aggregate_rule(rule, db, context, stats)
-            _merge(db, added, rule.head.pred, new_facts, stats)
+            if new_facts:
+                merge(rule.head.pred,
+                      {interner.intern_row(fact) for fact in new_facts})
         changed = True
         while changed:
             changed = False
             stats.rounds += 1
             for rule in stratum.rules:
-                new_facts = apply_rule(rule, db, context, stats=stats)
-                if new_facts:
-                    _merge(db, added, rule.head.pred, new_facts, stats)
+                # Rule application stays in id space round over round;
+                # values materialize once, at the return boundary below.
+                new_rows = apply_rule(rule, db, context, stats=stats,
+                                      as_rows=True)
+                if new_rows and merge(rule.head.pred, new_rows):
                     changed = True
-    return added
 
-
-def _merge(db: Database, added: dict, pred: str, facts: set,
-           stats: EvalStats) -> None:
-    relation = db.rel(pred)
-    for fact in facts:
-        if relation.add(fact):
-            added.setdefault(pred, set()).add(fact)
-            stats.new_facts += 1
+    materialize = interner.materialize_row
+    return {pred: {materialize(row) for row in rows}
+            for pred, rows in added_rows.items()}

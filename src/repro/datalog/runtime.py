@@ -79,6 +79,13 @@ class EvalContext:
     #: keep locally — the rest has been diverted to a remote owner (see
     #: :mod:`repro.cluster`).  None on single-node evaluation (no cost).
     remote_emit: Optional[Callable[[str, set], set]] = None
+    #: id-space variant of ``remote_emit``: called with the freshly
+    #: derived *id rows* (interned against the evaluating database) and
+    #: returns the rows to keep locally.  When set it takes precedence
+    #: over ``remote_emit``, and locally-kept facts never materialize —
+    #: only genuinely remote ones pay the value boundary (they must
+    #: cross the wire anyway).  The implementer owns materialization.
+    remote_emit_rows: Optional[Callable[[str, set], set]] = None
 
 
 class Unbound(Exception):
@@ -446,43 +453,54 @@ class _FlatUnsupported(Exception):
 
 
 def _compile_flat_term(term: Term, slot_of: dict) -> Callable:
-    """Compile a term into a ``registers -> value`` getter.
+    """Compile a term into a ``(registers, values) -> value`` getter.
 
-    Supports constants, register-resident variables, arithmetic
-    expressions and partition terms over those.  Quotes (which need the
-    evaluation context's meta registry) raise :class:`_FlatUnsupported`,
-    sending the whole plan down the generic pipeline.
+    Registers hold interned term *ids*; ``values`` is the interner's
+    inverse table, so a variable getter materializes its slot with one
+    list index.  Supports constants, register-resident variables,
+    arithmetic expressions and partition terms over those.  Quotes (which
+    need the evaluation context's meta registry) raise
+    :class:`_FlatUnsupported`, sending the whole plan down the generic
+    pipeline.
     """
     if isinstance(term, Constant):
         value = term.value
-        return lambda registers: value
+        return lambda registers, values: value
     if isinstance(term, Variable):
         slot = slot_of.get(term.name)
         if slot is None:
             raise _FlatUnsupported(term.name)
-        return lambda registers: registers[slot]
+        return lambda registers, values: values[registers[slot]]
     if isinstance(term, Expr):
         op = term.op
         left = _compile_flat_term(term.left, slot_of)
         right = _compile_flat_term(term.right, slot_of)
-        return lambda registers: apply_arith(op, left(registers),
-                                             right(registers))
+        return lambda registers, values: apply_arith(
+            op, left(registers, values), right(registers, values))
     if isinstance(term, PartitionTerm):
         pred = term.pred
         keys = tuple(_compile_flat_term(k, slot_of) for k in term.keys)
-        return lambda registers: PredPartition(
-            pred, tuple(k(registers) for k in keys))
+        return lambda registers, values: PredPartition(
+            pred, tuple(k(registers, values) for k in keys))
     raise _FlatUnsupported(term)
 
 
 class _FlatStep:
-    """One literal of a flat (register-based) plan; see :class:`FlatPlan`."""
+    """One literal of a flat (register-based) plan; see :class:`FlatPlan`.
+
+    Probe keys carry constants as *values* (``key_const`` /
+    ``const_fills``): compiled plans are cached per rule and reused
+    across databases with different interners, so constants resolve to
+    ids per :func:`run_flat` call, never at compile time.
+    ``single_var`` short-circuits the hottest shape — a single-column key
+    filled from one register — to a bare id with no template copy.
+    """
 
     kind = 0
 
     __slots__ = ("index", "pred", "negated", "arity", "key_positions",
-                 "key_const", "key_template", "var_fills", "eval_fills",
-                 "free", "checks")
+                 "key_single", "key_const", "key_template", "const_fills",
+                 "var_fills", "eval_fills", "single_var", "free", "checks")
 
     def __init__(self, op: "_LiteralOp", slot_of: dict) -> None:
         self.index = op.index
@@ -490,6 +508,7 @@ class _FlatStep:
         self.negated = op.negated
         self.arity = op.arity
         self.key_positions = op.key_positions
+        self.key_single = len(op.key_positions) == 1
         self.key_const = op.key_const
         self.key_template = op.key_template
         self.var_fills = tuple(
@@ -498,6 +517,19 @@ class _FlatStep:
         self.eval_fills = tuple(
             (template_slot, _compile_flat_term(term, slot_of))
             for template_slot, term in op.key_eval_slots)
+        if op.key_const is not None:
+            self.const_fills = ()
+        else:
+            filled_slots = {s for s, _ in op.key_var_slots}
+            filled_slots.update(s for s, _ in op.key_eval_slots)
+            self.const_fills = tuple(
+                (s, value) for s, value in enumerate(op.key_template)
+                if s not in filled_slots)
+        self.single_var = (
+            self.var_fills[0][1]
+            if (self.key_single and len(self.var_fills) == 1
+                and not self.eval_fills and not self.const_fills)
+            else None)
         if op.negated:
             self.free = ()  # existential: no bindings escape a negation
         else:
@@ -571,23 +603,27 @@ class _FlatBuiltinStep:
 
 
 class FlatPlan:
-    """A register-compiled conjunction.
+    """A register-compiled conjunction running in interned-id space.
 
-    Variables live in numbered slots instead of binding dicts, so the
-    innermost join loop does no dict copies and no generator suspensions
-    — :func:`run_flat` walks it with plain recursion and a callback.
+    Variables live in numbered slots instead of binding dicts — and the
+    slots hold term *ids*, so the innermost join loop does no dict
+    copies, no generator suspensions and no boxed-value hashing —
+    :func:`run_flat` walks it with plain recursion and a callback.
     Literals, comparisons ('=' assignment included), builtin calls and
     expression-valued literal keys all compile; only quote terms (which
-    need the meta registry) keep the generic op pipeline.
+    need the meta registry) keep the generic op pipeline.  Values are
+    materialized only where semantics demand them: ordered comparisons,
+    arithmetic, and builtin invocation.
     """
 
-    __slots__ = ("steps", "nslots", "slot_of", "head_spec")
+    __slots__ = ("steps", "nslots", "slot_of", "head_spec", "join2")
 
     def __init__(self, steps: tuple, slot_of: dict) -> None:
         self.steps = steps
         self.nslots = len(slot_of)
         self.slot_of = slot_of
         self.head_spec = None  # lazily cached by apply_rule
+        self.join2 = None      # lazily compiled by run_flat (False: no)
 
 
 def _compile_flat(plan: "Plan") -> Optional[FlatPlan]:
@@ -611,79 +647,207 @@ def _compile_flat(plan: "Plan") -> Optional[FlatPlan]:
     return FlatPlan(tuple(steps), slot_of)
 
 
-def run_flat(flat: FlatPlan, db: Database, context: EvalContext,
-             delta, delta_position, emit) -> None:
-    """Run a flat plan, invoking ``emit(registers)`` per solution.
+#: run_flat's "this probe key mentions a value no relation has ever seen"
+#: marker: the literal matches nothing (and a negation trivially holds).
+_KEY_MISS = object()
 
-    ``registers`` is reused across solutions — ``emit`` must read, not
-    keep, the list.  Counts ``literal_scans``/``full_scans`` exactly like
-    the generic pipeline.
+#: Per-call literal-step access tags (see the prepare pass in
+#: :func:`run_flat`): full scan of the source rows / prefetched constant
+#: bucket / single-register index probe / templated index probe / probe
+#: key mentions an unknown constant (counts, matches nothing) / positive
+#: literal with no delta source (dead, uncounted) / negated literal with
+#: no delta source (vacuously true, uncounted).
+_P_SCAN, _P_BUCKET, _P_PROBE_SV, _P_PROBE_FILL, _P_MISS, _P_DEAD, _P_SKIP = \
+    range(7)
+
+_MISS_ENTRY = (_P_MISS, None, None)
+_DEAD_ENTRY = (_P_DEAD, None, None)
+_SKIP_ENTRY = (_P_SKIP, None, None)
+
+
+def run_flat(flat: FlatPlan, db: Database, context: EvalContext,
+             delta, delta_position, id_spec: tuple, head_rows: set,
+             produced: set) -> int:
+    """Run a flat plan in id space, emitting head id rows; returns firings.
+
+    ``id_spec`` is the head template in id terms — ``(True, slot)`` for a
+    register, ``(False, id)`` for an already-interned constant; every
+    solution instantiates it and the row lands in ``produced`` unless it
+    is already in ``head_rows`` or ``produced`` (rule-application dedup,
+    inlined here so no per-solution callback frame exists).
+
+    A prepare pass resolves each literal step per call — never at
+    compile time, since plans are cached per rule and shared across
+    databases with different interners: the delta-vs-database source,
+    probe-key constants through the non-creating ``id_of`` (a constant
+    the interner has never seen cannot match any stored row, so the
+    literal short-circuits to empty without growing the table), and the
+    hash index itself via :meth:`Relation.index_for` — so index traffic
+    is counted once per rule application on this path, while probes bind
+    a plain ``dict.get``.  ``literal_scans``/``full_scans`` are counted
+    exactly like the generic pipeline, plus ``id_joins`` per indexed
+    id-space probe.
     """
-    registers = flat.nslots * [None]
     steps = flat.steps
     nsteps = len(steps)
     stats = context.stats
+    interner = db.interner
+    values = interner.values
+    intern = interner.intern
+    id_of = interner.ids.get
+
+    # Specialized non-recursive loop for the hottest rule shape — two
+    # positive, check-free literals joined through a single-column index
+    # on a register the first literal binds (transitive closure, and most
+    # EDB joins, compile to exactly this).  The shape analysis is cached
+    # on the plan; only interner-dependent state (sources, key ids, the
+    # index) resolves per call.
+    if nsteps == 2:
+        join2 = flat.join2
+        if join2 is None:
+            join2 = flat.join2 = _compile_join2(steps, id_spec)
+        if join2 is not False:
+            return _run_flat_join2(join2, steps, db, id_of, delta,
+                                   delta_position, id_spec, head_rows,
+                                   produced, stats)
+
+    prepared: list = [None] * nsteps
+    for number, step in enumerate(steps):
+        if step.kind != 0:
+            continue
+        if delta is not None and step.index == delta_position:
+            source = delta.get(step.pred)
+            if source is None:
+                prepared[number] = _SKIP_ENTRY if step.negated \
+                    else _DEAD_ENTRY
+                continue
+        else:
+            source = db.rel(step.pred)
+        positions = step.key_positions
+        if not positions:
+            prepared[number] = (_P_SCAN, source.rows, None)
+            continue
+        const_key = step.key_const
+        if const_key is not None:
+            if step.key_single:
+                key = id_of(const_key[0], _KEY_MISS)
+            else:
+                resolved = tuple(id_of(v, _KEY_MISS) for v in const_key)
+                key = _KEY_MISS if _KEY_MISS in resolved else resolved
+            if key is _KEY_MISS:
+                prepared[number] = _MISS_ENTRY
+            else:
+                prepared[number] = (
+                    _P_BUCKET, source.index_for(positions).get(key, ()), None)
+            continue
+        if step.single_var is not None:
+            prepared[number] = (_P_PROBE_SV, source.index_for(positions).get,
+                                step.single_var)
+            continue
+        base = step.key_template.copy()
+        for template_slot, value in step.const_fills:
+            resolved_id = id_of(value)
+            if resolved_id is None:
+                base = None
+                break
+            base[template_slot] = resolved_id
+        prepared[number] = _MISS_ENTRY if base is None else (
+            _P_PROBE_FILL, source.index_for(positions).get, base)
+
+    registers = flat.nslots * [None]
+    fired = 0
 
     def run(number: int) -> None:
+        nonlocal fired
         if number == nsteps:
-            emit(registers)
+            fired += 1
+            out = tuple([registers[payload] if is_slot else payload
+                         for is_slot, payload in id_spec])
+            if out not in head_rows and out not in produced:
+                produced.add(out)
             return
         step = steps[number]
         kind = step.kind
         if kind == 1:  # comparison: assignment or filter, then continue
             if step.mode == _FLAT_CMP_ASSIGN:
-                registers[step.slot] = step.value(registers)
-            elif not apply_comparison(step.op, step.left(registers),
-                                      step.right(registers)):
+                registers[step.slot] = intern(step.value(registers, values))
+            elif not apply_comparison(step.op, step.left(registers, values),
+                                      step.right(registers, values)):
                 return
             run(number + 1)
             return
         if kind == 2:  # builtin call: bind/check outputs per result row
-            inputs = tuple(g(registers) for g in step.inputs)
+            inputs = tuple(g(registers, values) for g in step.inputs)
             following = number + 1
             for row in invoke_builtin(step.definition, inputs,
                                       context.payload):
                 ok = True
                 for (action, payload), value in zip(step.outputs, row):
                     if action == _OUT_BIND:
-                        registers[payload] = value
+                        registers[payload] = intern(value)
                     elif action == _OUT_CHECK_SLOT:
-                        if registers[payload] != value:
+                        if values[registers[payload]] != value:
                             ok = False
                             break
-                    elif payload(registers) != value:
+                    elif payload(registers, values) != value:
                         ok = False
                         break
                 if ok:
                     run(following)
             return
-        if delta is not None and step.index == delta_position:
-            source = delta.get(step.pred)
-            if source is None:
-                if step.negated:
-                    run(number + 1)
-                return
-        else:
-            source = db.rel(step.pred)
-        if step.key_positions:
-            if stats is not None:
-                stats.literal_scans += 1
-            key = step.key_const
-            if key is None:
-                filled = step.key_template.copy()
-                for template_slot, register in step.var_fills:
-                    filled[template_slot] = registers[register]
-                for template_slot, getter in step.eval_fills:
-                    filled[template_slot] = getter(registers)
-                key = tuple(filled)
-            # Zero-copy bucket: rule application stages its output, the
-            # database is not mutated while this plan runs.
-            candidates = source.live_bucket(step.key_positions, key)
-        else:
+        tag, access, extra = prepared[number]
+        if tag == _P_SCAN:
             if stats is not None:
                 stats.literal_scans += 1
                 stats.full_scans += 1
-            candidates = source.tuples
+            candidates = access
+        elif tag == _P_PROBE_SV:
+            if stats is not None:
+                stats.literal_scans += 1
+                stats.id_joins += 1
+            # Hottest shape: single-column key from one register — the
+            # register already holds the id, the probe is one dict.get.
+            candidates = access(registers[extra])
+            if candidates is None:
+                candidates = ()
+        elif tag == _P_BUCKET:
+            if stats is not None:
+                stats.literal_scans += 1
+                stats.id_joins += 1
+            candidates = access
+        elif tag == _P_PROBE_FILL:
+            if stats is not None:
+                stats.literal_scans += 1
+                stats.id_joins += 1
+            filled = extra.copy()
+            for template_slot, register in step.var_fills:
+                filled[template_slot] = registers[register]
+            missed = False
+            for template_slot, getter in step.eval_fills:
+                value_id = id_of(getter(registers, values))
+                if value_id is None:
+                    missed = True
+                    break
+                filled[template_slot] = value_id
+            if missed:
+                candidates = ()
+            else:
+                # Zero-copy bucket: rule application stages its output,
+                # the database is not mutated while this plan runs.
+                candidates = access(
+                    filled[0] if step.key_single else tuple(filled))
+                if candidates is None:
+                    candidates = ()
+        elif tag == _P_MISS:
+            if stats is not None:
+                stats.literal_scans += 1
+                stats.id_joins += 1
+            candidates = ()
+        elif tag == _P_SKIP:
+            run(number + 1)
+            return
+        else:  # _P_DEAD: positive literal with no delta source
+            return
         arity = step.arity
         checks = step.checks
         free = step.free
@@ -720,7 +884,11 @@ def run_flat(flat: FlatPlan, db: Database, context: EvalContext,
                     continue
                 for position, register in free:
                     registers[register] = row[position]
-                emit(registers)
+                fired += 1
+                out = tuple([registers[payload] if is_slot else payload
+                             for is_slot, payload in id_spec])
+                if out not in head_rows and out not in produced:
+                    produced.add(out)
         else:
             for row in candidates:
                 if len(row) != arity:
@@ -730,6 +898,171 @@ def run_flat(flat: FlatPlan, db: Database, context: EvalContext,
                 run(following)
 
     run(0)
+    return fired
+
+
+def _compile_join2(steps: tuple, id_spec: tuple):
+    """Shape analysis for the two-literal fast join; False if ineligible.
+
+    Eligible: two positive check-free literals, the first scanned or
+    probed on a constant key, the second probed through a single-column
+    index on a register the first binds.  Returns ``(key0_pos,
+    emit_struct, simple)`` — ``key0_pos`` is the outer-row column feeding
+    the probe; ``emit_struct`` entries are ``(0, pos)``/``(1, pos)``
+    (head term from the outer/probed row) or ``(2, spec_index)`` (an
+    interned head constant, resolved from the caller's ``id_spec`` so
+    nothing database-specific is cached here — ``id_spec``'s *structure*
+    is fixed per plan); ``simple`` is ``(left_pos, right_pos)`` for the
+    dominant one-term-from-each-side binary head, else None.
+    """
+    step0, step1 = steps
+    if not (step0.kind == 0 and step1.kind == 0
+            and not step0.negated and not step1.negated
+            and not step0.checks and not step1.checks
+            and (not step0.key_positions or step0.key_const is not None)
+            and step1.single_var is not None):
+        return False
+    reg0 = {register: position for position, register in step0.free}
+    key0_pos = reg0.get(step1.single_var)
+    if key0_pos is None:
+        return False
+    reg1 = {register: position for position, register in step1.free}
+    emit_struct = []
+    for spec_index, (is_slot, payload) in enumerate(id_spec):
+        if not is_slot:
+            emit_struct.append((2, spec_index))
+        elif payload in reg1:
+            emit_struct.append((1, reg1[payload]))
+        elif payload in reg0:
+            emit_struct.append((0, reg0[payload]))
+        else:  # pragma: no cover - every register comes from some free
+            return False
+    simple = None
+    if len(emit_struct) == 2:
+        (src_a, pos_a), (src_b, pos_b) = emit_struct
+        if src_a == 0 and src_b == 1:
+            simple = (0, pos_a, pos_b)   # (row0[a], row1[b])
+        elif src_a == 1 and src_b == 0:
+            simple = (1, pos_a, pos_b)   # (row1[a], row0[b])
+    return key0_pos, tuple(emit_struct), simple
+
+
+def _run_flat_join2(join2: tuple, steps: tuple, db: Database, id_of,
+                    delta, delta_position, id_spec: tuple,
+                    head_rows: set, produced: set, stats) -> int:
+    """The two-literal id-join inner loop (see :func:`run_flat`).
+
+    Solutions flow outer row → index bucket → head row with no register
+    list, no recursion and no per-solution frames.  Stats are batched:
+    one scan/probe for the outer literal, one probe per outer row that
+    reaches the inner literal — identical totals to the general walk.
+    """
+    key0_pos, emit_struct, simple = join2
+    step0, step1 = steps
+    if delta is not None and step0.index == delta_position:
+        source0 = delta.get(step0.pred)
+        if source0 is None:
+            return 0    # dead positive literal: uncounted, like the walk
+    else:
+        source0 = db.rel(step0.pred)
+    if delta is not None and step1.index == delta_position:
+        source1 = delta.get(step1.pred)
+    else:
+        source1 = db.rel(step1.pred)
+    positions0 = step0.key_positions
+    if positions0:
+        const_key = step0.key_const
+        if step0.key_single:
+            key = id_of(const_key[0], _KEY_MISS)
+        else:
+            resolved = tuple(id_of(v, _KEY_MISS) for v in const_key)
+            key = _KEY_MISS if _KEY_MISS in resolved else resolved
+        scan0 = False
+        rows0 = () if key is _KEY_MISS \
+            else source0.index_for(positions0).get(key, ())
+    else:
+        scan0 = True
+        rows0 = source0.rows
+    if source1 is None:
+        # Dead inner literal: the outer literal still executed once.
+        if stats is not None:
+            stats.literal_scans += 1
+            if scan0:
+                stats.full_scans += 1
+            else:
+                stats.id_joins += 1
+        return 0
+    bucket_get = source1.index_for(step1.key_positions).get
+    arity0 = step0.arity
+    arity1 = step1.arity
+
+    fired = 0
+    outer_rows = 0
+    if simple is not None:
+        # Binary head with one term from each side: build the out tuple
+        # inline, hoisting the outer row's term out of the bucket loop.
+        mirrored, pos_a, pos_b = simple
+        if mirrored:
+            for row0 in rows0:
+                if len(row0) != arity0:
+                    continue
+                outer_rows += 1
+                bucket = bucket_get(row0[key0_pos])
+                if bucket is None:
+                    continue
+                right = row0[pos_b]
+                for row1 in bucket:
+                    if len(row1) != arity1:
+                        continue
+                    fired += 1
+                    out = (row1[pos_a], right)
+                    if out in head_rows or out in produced:
+                        continue
+                    produced.add(out)
+        else:
+            for row0 in rows0:
+                if len(row0) != arity0:
+                    continue
+                outer_rows += 1
+                bucket = bucket_get(row0[key0_pos])
+                if bucket is None:
+                    continue
+                left = row0[pos_a]
+                for row1 in bucket:
+                    if len(row1) != arity1:
+                        continue
+                    fired += 1
+                    out = (left, row1[pos_b])
+                    if out in head_rows or out in produced:
+                        continue
+                    produced.add(out)
+    else:
+        emit_plan = tuple(
+            (2, id_spec[payload][1]) if src == 2 else (src, payload)
+            for src, payload in emit_struct)
+        for row0 in rows0:
+            if len(row0) != arity0:
+                continue
+            outer_rows += 1
+            bucket = bucket_get(row0[key0_pos])
+            if bucket is None:
+                continue
+            for row1 in bucket:
+                if len(row1) != arity1:
+                    continue
+                fired += 1
+                out = tuple([row0[p] if s == 0 else
+                             row1[p] if s == 1 else p
+                             for s, p in emit_plan])
+                if out in head_rows or out in produced:
+                    continue
+                produced.add(out)
+    if stats is not None:
+        stats.literal_scans += 1 + outer_rows
+        stats.id_joins += outer_rows + (0 if scan0 else 1)
+        if scan0:
+            stats.full_scans += 1
+    return fired
 
 
 @dataclass
@@ -798,7 +1131,7 @@ def relation_sizes(items: tuple, db: Optional[Database]) -> Optional[dict]:
                 sizes[item.atom.pred] = 0
             else:
                 sizes[item.atom.pred] = relation
-                if len(relation.tuples) >= _COST_MODEL_MIN_SIZE:
+                if len(relation) >= _COST_MODEL_MIN_SIZE:
                     worth_it = True
     return sizes if worth_it else None
 
@@ -952,7 +1285,7 @@ def build_plan(items: tuple, initially_bound: frozenset = frozenset(),
         """
         source = sizes.get(items[index].atom.pred, 0)
         relation = None if source.__class__ is int else source
-        cost = float(len(relation.tuples) if relation is not None else source)
+        cost = float(len(relation) if relation is not None else source)
         if not cost:
             return 0.0
         for position, entry in lit_arg_info[index]:

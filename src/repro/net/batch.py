@@ -7,6 +7,19 @@ round** — so the network's message counter measures batches, which is
 what a real transport would pay for.  A batch whose encoded size would
 exceed ``max_bytes`` is flushed early, capping message size the way an
 MTU/frame limit would.
+
+Two wire formats:
+
+* ``wire_format="dict"`` (default) — dictionary-compressed envelopes:
+  every distinct to/pred name and every distinct encoded value is
+  serialized once per batch, rows are int-index arrays into those
+  dictionaries.  Delta-exchange traffic is dominated by a small working
+  set of ground terms (vertex ids, principal names), so this cuts
+  payload bytes per fact substantially.
+* ``wire_format="legacy"`` — the original one-tagged-object-per-fact
+  batch, byte-for-byte identical to what older peers emit; keep it for
+  links into mixed-version clusters.  Decoding needs no flag — the
+  receiver sniffs both formats (:func:`decode_batch_message`).
 """
 
 from __future__ import annotations
@@ -14,7 +27,13 @@ from __future__ import annotations
 import json
 from typing import Optional
 
-from .transport import encode_batch_item, encode_batch_message_parts
+from ..datalog.errors import NetworkError
+from .transport import (
+    encode_batch_item,
+    encode_batch_message_compressed,
+    encode_batch_message_parts,
+    encode_value,
+)
 
 #: Default size cap per batch message, in encoded-payload bytes.  Small
 #: enough that a pathological round still produces bounded messages,
@@ -24,24 +43,49 @@ DEFAULT_MAX_BATCH_BYTES = 16384
 #: Fixed envelope overhead assumed per message ({"round":NNN,"batch":[]}).
 _ENVELOPE_OVERHEAD = 32
 
+#: Envelope overhead of the compressed form
+#: ({"round":NNN,"names":[],"dict":[],"rows":[]}).
+_DICT_ENVELOPE_OVERHEAD = 48
+
+
+class _LinkBuffer:
+    """One link's pending compressed batch: dictionaries + index rows."""
+
+    __slots__ = ("names", "name_texts", "values", "value_texts", "rows",
+                 "size")
+
+    def __init__(self) -> None:
+        self.names: dict[str, int] = {}       # to/pred name -> index
+        self.name_texts: list[str] = []       # JSON string literals
+        self.values: dict[str, int] = {}      # encoded value text -> index
+        self.value_texts: list[str] = []      # tagged-object texts
+        self.rows: list[str] = []             # "[to,pred,v...]" texts
+        self.size = _DICT_ENVELOPE_OVERHEAD
+
 
 class MessageBatcher:
     """Accumulates facts per link; flushes size-capped batch messages."""
 
     def __init__(self, network, registry,
                  max_bytes: int = DEFAULT_MAX_BATCH_BYTES,
-                 ledger: Optional[object] = None) -> None:
+                 ledger: Optional[object] = None,
+                 wire_format: str = "dict") -> None:
+        if wire_format not in ("dict", "legacy"):
+            raise NetworkError(
+                f"unknown wire format {wire_format!r}; pick dict or legacy")
         self.network = network
         self.registry = registry
         self.max_bytes = max_bytes
+        self.wire_format = wire_format
         #: optional quiescence :class:`~repro.cluster.quiescence.TicketLedger`;
         #: when set, one ticket is issued per message sent — including
         #: early size-capped flushes, which callers never see.
         self.ledger = ledger
         self.sent_messages = 0
         self.sent_items = 0
-        self._buffers: dict[tuple[str, str], list] = {}
+        self._buffers: dict[tuple[str, str], list] = {}    # legacy format
         self._sizes: dict[tuple[str, str], int] = {}
+        self._links: dict[tuple[str, str], _LinkBuffer] = {}
 
     def add(self, src: str, dst: str, pred: str, fact: tuple,
             to: str = "", round_stamp: int = 0) -> None:
@@ -51,10 +95,41 @@ class MessageBatcher:
         the pending batch is flushed first (stamped with ``round_stamp``)
         so no single message exceeds the cap by more than one item.
 
-        Items are serialized here, once: the same encoded text that
-        sizes the batch is spliced verbatim into the wire envelope at
+        Items are serialized here, once: the same encoded texts that
+        size the batch are spliced verbatim into the wire envelope at
         flush, so the hot exchange path never serializes a fact twice.
         """
+        if self.wire_format == "legacy":
+            self._add_legacy(src, dst, pred, fact, to, round_stamp)
+            return
+        registry = self.registry
+        value_texts = [
+            json.dumps(encode_value(v, registry), separators=(",", ":"))
+            for v in fact]
+        link = (src, dst)
+        buffer = self._links.get(link)
+        if buffer is None:
+            buffer = self._links[link] = _LinkBuffer()
+        new_names, new_values, row_text, added = _plan_item(
+            buffer, to, pred, value_texts)
+        if buffer.rows and buffer.size + added > self.max_bytes:
+            self._flush_link(link, round_stamp)
+            buffer = self._links[link] = _LinkBuffer()
+            # Fresh dictionaries: every entry is new again, and the row's
+            # indices (hence its text and size) change with them.
+            new_names, new_values, row_text, added = _plan_item(
+                buffer, to, pred, value_texts)
+        for name in new_names:
+            buffer.names[name] = len(buffer.name_texts)
+            buffer.name_texts.append(json.dumps(name, separators=(",", ":")))
+        for text in new_values:
+            buffer.values[text] = len(buffer.value_texts)
+            buffer.value_texts.append(text)
+        buffer.rows.append(row_text)
+        buffer.size += added
+
+    def _add_legacy(self, src: str, dst: str, pred: str, fact: tuple,
+                    to: str, round_stamp: int) -> None:
         item = encode_batch_item(pred, fact, self.registry, to=to)
         encoded = json.dumps(item, separators=(",", ":"))
         item_size = len(encoded) + 1
@@ -67,21 +142,30 @@ class MessageBatcher:
         self._sizes[link] = pending + item_size
 
     def pending_items(self) -> int:
-        return sum(len(items) for items in self._buffers.values())
+        return sum(len(items) for items in self._buffers.values()) \
+            + sum(len(buffer.rows) for buffer in self._links.values())
 
     def flush(self, round_stamp: int = 0) -> int:
         """Send every pending batch; returns the number of messages sent."""
         sent = 0
-        for link in sorted(self._buffers):
+        for link in sorted(set(self._buffers) | set(self._links)):
             sent += self._flush_link(link, round_stamp)
         return sent
 
     def _flush_link(self, link: tuple[str, str], round_stamp: int) -> int:
-        items = self._buffers.pop(link, None)
-        self._sizes.pop(link, None)
-        if not items:
-            return 0
-        blob = encode_batch_message_parts(items, round_stamp)
+        buffer = self._links.pop(link, None)
+        if buffer is not None and buffer.rows:
+            blob = encode_batch_message_compressed(
+                buffer.name_texts, buffer.value_texts, buffer.rows,
+                round_stamp)
+            count = len(buffer.rows)
+        else:
+            items = self._buffers.pop(link, None)
+            self._sizes.pop(link, None)
+            if not items:
+                return 0
+            blob = encode_batch_message_parts(items, round_stamp)
+            count = len(items)
         src, dst = link
         self.network.send(src, dst, blob)
         if self.ledger is not None:
@@ -90,5 +174,48 @@ class MessageBatcher:
             # protocol exact under out-of-order delivery.
             self.ledger.issue(round_stamp, sender=src)
         self.sent_messages += 1
-        self.sent_items += len(items)
+        self.sent_items += count
         return 1
+
+
+def _plan_item(buffer: _LinkBuffer, to: str, pred: str,
+               value_texts: list) -> tuple[list, list, str, int]:
+    """Lay one item out against a link's dictionaries, without mutating.
+
+    Returns ``(new_names, new_values, row_text, added_bytes)`` — the
+    dictionary entries the item introduces, the serialized index row,
+    and the exact byte growth of the envelope.  Kept side-effect free so
+    the caller can decide to flush first (a full batch) and re-plan
+    against fresh dictionaries.
+    """
+    row = []
+    new_names: list[str] = []
+    pending_names: dict[str, int] = {}
+    next_name = len(buffer.name_texts)
+    for name in (to, pred):
+        idx = buffer.names.get(name)
+        if idx is None:
+            idx = pending_names.get(name)
+            if idx is None:
+                idx = next_name + len(new_names)
+                pending_names[name] = idx
+                new_names.append(name)
+        row.append(idx)
+    new_values: list[str] = []
+    pending_values: dict[str, int] = {}
+    next_value = len(buffer.value_texts)
+    for text in value_texts:
+        idx = buffer.values.get(text)
+        if idx is None:
+            idx = pending_values.get(text)
+            if idx is None:
+                idx = next_value + len(new_values)
+                pending_values[text] = idx
+                new_values.append(text)
+        row.append(idx)
+    row_text = "[" + ",".join(map(str, row)) + "]"
+    added = len(row_text) + 1 \
+        + sum(len(json.dumps(n, separators=(",", ":"))) + 1
+              for n in new_names) \
+        + sum(len(t) + 1 for t in new_values)
+    return new_names, new_values, row_text, added

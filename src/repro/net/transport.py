@@ -148,14 +148,102 @@ def encode_batch_message_parts(encoded_items: list, round_stamp: int = 0) -> byt
     return f'{{"round":{int(round_stamp)},"batch":[{body}]}}'.encode("utf-8")
 
 
+def encode_batch_message_compressed(name_texts: list, value_texts: list,
+                                    row_texts: list,
+                                    round_stamp: int = 0) -> bytes:
+    """Assemble a dictionary-compressed envelope from pre-serialized parts.
+
+    The batcher keeps each link's dictionaries as already-serialized JSON
+    texts (the same texts it used for size accounting), so flush is pure
+    splicing: ``name_texts`` are JSON string literals (to/pred names),
+    ``value_texts`` are tagged-value objects, ``row_texts`` are int-array
+    literals ``[to_idx,pred_idx,value_idx...]`` indexing into them.
+    """
+    names = ",".join(name_texts)
+    values = ",".join(value_texts)
+    rows = ",".join(row_texts)
+    return (f'{{"round":{int(round_stamp)},"names":[{names}],'
+            f'"dict":[{values}],"rows":[{rows}]}}').encode("utf-8")
+
+
+def encode_batch_message_dict(items: list, registry,
+                              round_stamp: int = 0) -> bytes:
+    """Serialize ``(to, pred, fact)`` triples as one compressed envelope.
+
+    The canonical (non-spliced) definition of the dictionary-compressed
+    format: every distinct to/pred name and every distinct encoded value
+    is stored once, rows reference them by index.  Byte-identical to what
+    a ``wire_format="dict"`` batcher emits for the same items in the same
+    order.
+    """
+    names: dict[str, int] = {}
+    name_texts: list[str] = []
+    values: dict[str, int] = {}
+    value_texts: list[str] = []
+    row_texts: list[str] = []
+    for to, pred, fact in items:
+        row = []
+        for name in (to, pred):
+            idx = names.get(name)
+            if idx is None:
+                idx = names[name] = len(name_texts)
+                name_texts.append(json.dumps(name, separators=(",", ":")))
+            row.append(idx)
+        for value in fact:
+            text = json.dumps(encode_value(value, registry),
+                              separators=(",", ":"))
+            idx = values.get(text)
+            if idx is None:
+                idx = values[text] = len(value_texts)
+                value_texts.append(text)
+            row.append(idx)
+        row_texts.append("[" + ",".join(map(str, row)) + "]")
+    return encode_batch_message_compressed(name_texts, value_texts,
+                                           row_texts, round_stamp)
+
+
+def _decode_compressed(payload: Any, registry) -> tuple[int, list]:
+    round_stamp = payload.get("round", 0)
+    names = payload.get("names")
+    dictionary = payload.get("dict")
+    rows = payload["rows"]
+    if not isinstance(round_stamp, int) or not isinstance(names, list) \
+            or not isinstance(dictionary, list) or not isinstance(rows, list) \
+            or not all(isinstance(n, str) for n in names):
+        raise NetworkError("malformed compressed batch payload")
+    if not all(isinstance(e, dict) for e in dictionary):
+        raise NetworkError("malformed compressed batch dictionary")
+    values = [decode_value(entry, registry) for entry in dictionary]
+    items = []
+    for row in rows:
+        if not isinstance(row, list) or len(row) < 2 or not all(
+                isinstance(i, int) and not isinstance(i, bool) and i >= 0
+                for i in row):
+            raise NetworkError("malformed compressed batch row")
+        try:
+            to = names[row[0]]
+            pred = names[row[1]]
+            fact = tuple(values[i] for i in row[2:])
+        except IndexError as exc:
+            raise NetworkError(
+                "compressed batch row index out of range") from exc
+        items.append((to, pred, fact))
+    return round_stamp, items
+
+
 def decode_batch_message(blob: bytes, registry) -> tuple[int, list]:
     """Decode a batch message: ``(round_stamp, [(to, pred, fact), ...])``.
 
-    Single-fact messages (no ``batch`` key) decode as a one-item batch
-    with round stamp 0, so mixed traffic stays readable.  Serve-plane
-    frames (the request/reply kind below) are rejected loudly: a request
-    arriving on a delta-exchange path is a routing bug, and decoding it
-    as a corrupt fact would silently swallow the client's call.
+    Accepts both wire formats — the dictionary-compressed envelope
+    (``rows`` key) and the legacy per-item form (``batch`` key) — so a
+    node upgraded to the compressed encoder still reads batches from
+    mixed-version peers, and vice versa via the batcher's
+    ``wire_format="legacy"`` fallback.  Single-fact messages (neither
+    key) decode as a one-item batch with round stamp 0, so mixed traffic
+    stays readable.  Serve-plane frames (the request/reply kind below)
+    are rejected loudly: a request arriving on a delta-exchange path is
+    a routing bug, and decoding it as a corrupt fact would silently
+    swallow the client's call.
     """
     try:
         payload = json.loads(blob.decode("utf-8"))
@@ -166,6 +254,8 @@ def decode_batch_message(blob: bytes, registry) -> tuple[int, list]:
     if payload.get("kind") in (REQUEST_KIND, REPLY_KIND):
         raise NetworkError(
             f"serve-plane {payload['kind']} frame in batch traffic")
+    if "rows" in payload:
+        return _decode_compressed(payload, registry)
     batch = payload.get("batch")
     if batch is None:
         return 0, [_decode_item(payload, registry)]
@@ -205,7 +295,9 @@ def frame_kind(blob: bytes) -> str:
         raise NetworkError("malformed frame payload")
     kind = payload.get("kind")
     if kind is None:
-        return "batch" if "batch" in payload else "fact"
+        if "batch" in payload or "rows" in payload:
+            return "batch"
+        return "fact"
     if kind in (REQUEST_KIND, REPLY_KIND):
         return kind
     raise NetworkError(f"unknown frame kind {kind!r}")

@@ -41,7 +41,9 @@ class TestRun:
         artifact = json.loads((tmp_path / "BENCH_alpha_fast.json").read_text())
         assert artifact["schema"] == "repro-bench/v1"
         assert artifact["mode"] == "quick"
-        assert artifact["points"][0]["metrics"] == {"n": 1}
+        point_metrics = dict(artifact["points"][0]["metrics"])
+        assert point_metrics.pop("peak_mem_bytes") > 0
+        assert point_metrics == {"n": 1}
         assert "best=" in output
 
     def test_full_mode_runs_full_sweep(self, two_workloads, tmp_path):

@@ -14,7 +14,8 @@ class TestTimeWorkload:
             calls.append(n)
 
         measurement = time_workload(get("w"), {"n": 7})
-        assert calls == [7] * 5
+        # 2 warmup + 3 timed + 1 traced memory pass
+        assert calls == [7] * 6
         assert len(measurement.timings) == 3
         assert measurement.warmup == 2
         assert measurement.best == min(measurement.timings)
@@ -50,6 +51,8 @@ class TestTimeWorkload:
             return {"beta": 2}
 
         measurement = time_workload(get("w"), {})
+        peak = measurement.metrics.pop("peak_mem_bytes")
+        assert peak > 0
         assert measurement.metrics == {"alpha": 1, "beta": 2}
         point = measurement.as_dict()
         assert point["repeats"] == 2
@@ -104,6 +107,55 @@ class TestTimeWorkload:
 
         with pytest.raises(BenchError):
             time_workload(get("w"), {}, repeats=0)
+
+
+class TestPeakMemory:
+    def test_peak_memory_tracks_allocations(self, clean_registry):
+        @benchmark("w", warmup=0, repeats=1)
+        def w(case):
+            with case.measure():
+                blob = bytearray(2_000_000)  # noqa: F841
+
+        measurement = time_workload(get("w"), {})
+        assert measurement.metrics["peak_mem_bytes"] >= 2_000_000
+
+    def test_peak_memory_includes_setup_allocations(self, clean_registry):
+        @benchmark("w", warmup=0, repeats=1)
+        def w(case):
+            blob = bytearray(2_000_000)      # setup: untimed, still memory
+            with case.measure():
+                pass
+            del blob
+
+        measurement = time_workload(get("w"), {})
+        assert measurement.metrics["peak_mem_bytes"] >= 2_000_000
+
+    def test_peak_memory_skipped_under_active_tracing(self, clean_registry):
+        import tracemalloc
+
+        @benchmark("w", warmup=0, repeats=1)
+        def w(case):
+            with case.measure():
+                pass
+
+        tracemalloc.start()
+        try:
+            measurement = time_workload(get("w"), {})
+        finally:
+            tracemalloc.stop()
+        assert "peak_mem_bytes" not in measurement.metrics
+
+    def test_peak_memory_is_json_safe(self, clean_registry):
+        import json
+
+        @benchmark("w", warmup=0, repeats=1)
+        def w(case):
+            with case.measure():
+                pass
+
+        point = time_workload(get("w"), {}).as_dict()
+        assert isinstance(point["metrics"]["peak_mem_bytes"], int)
+        json.dumps(point)
 
 
 class TestWatch:

@@ -191,15 +191,16 @@ class TestNodeMechanics:
             fact for fact in (((i,),) for i in range(64))
             for fact in fact if partitioner.owner("p", fact) == "b"
         )
-        kept = node._emit("p", {remote})
+        remote_row = node.db.interner.intern_row(remote)
+        kept = node._emit_rows("p", {remote_row})
         assert kept == set()
-        assert node._emit("p", {remote}) == set()
+        assert node._emit_rows("p", {remote_row}) == set()
         drained = []
         node.drain_outbox(lambda dst, pred, fact: drained.append(
             (dst, pred, fact)))
         assert drained == [("b", "p", remote)]
         # re-offered after drain: still deduplicated
-        node._emit("p", {remote})
+        node._emit_rows("p", {remote_row})
         assert node.outbox == {}
 
     def test_quiescence_even_when_rederivation_reoffers_facts(self):

@@ -94,7 +94,9 @@ class TestDiscardIntegrity:
     def test_discard_raises_on_missing_bucket_entry(self):
         relation = Relation("p", [("a", 1), ("a", 2)])
         relation.lookup((0,), ("a",))
-        relation._indexes[(0,)][("a",)].remove(("a", 1))  # simulate corruption
+        key = relation.interner.id_of("a")
+        row = relation.interner.row_of(("a", 1))
+        relation._indexes[(0,)][key].remove(row)  # simulate corruption
         with pytest.raises(IndexIntegrityError):
             relation.discard(("a", 1))
 
@@ -111,7 +113,8 @@ class TestCopyOnWrite:
     def test_view_is_o1_until_mutation(self):
         relation = Relation("p", [("a",), ("b",)])
         view = relation.view()
-        assert view.tuples is relation.tuples
+        assert view.rows is relation.rows
+        assert view.interner is relation.interner
 
     def test_mutating_original_leaves_view_intact(self):
         relation = Relation("p", [("a",)])
@@ -224,7 +227,8 @@ class TestSnapshotRestoreCOW:
         database = Database()
         database.add("p", ("a",))
         snapshot = database.snapshot()
-        assert snapshot.rel("p").tuples is database.rel("p").tuples
+        assert snapshot.rel("p").rows is database.rel("p").rows
+        assert snapshot.interner is database.interner
         snapshot.add("p", ("b",))  # mutating the snapshot copy is also safe
         assert database.tuples("p") == {("a",)}
         assert snapshot.tuples("p") == {("a",), ("b",)}

@@ -109,17 +109,31 @@ def test_database_snapshot_restore_keeps_indexes_consistent(before, after):
 
 
 def assert_every_index_agrees(relation: Relation) -> None:
-    """Every maintained index holds exactly the relation's tuples."""
+    """Every maintained index holds exactly the relation's id rows, and
+    the interner is a bijection consistent with the stored rows."""
+    interner = relation.interner
     for positions, index in relation._indexes.items():
         indexed = []
         for key, bucket in index.items():
             assert bucket, f"empty bucket left behind for {key!r}"
             for row in bucket:
-                assert tuple(row[p] for p in positions) == key
-                assert row in relation.tuples
+                row_key = row[positions[0]] if len(positions) == 1 \
+                    else tuple(row[p] for p in positions)
+                assert row_key == key
+                assert row in relation.rows
             indexed.extend(bucket)
-        assert len(indexed) == len(relation.tuples)
-        assert set(indexed) == relation.tuples
+        assert len(indexed) == len(relation.rows)
+        assert set(indexed) == relation.rows
+    # Interner agreement: every stored id maps to a value that maps back
+    # to the same id (append-only bijection), and materializing the rows
+    # reproduces exactly the value-level contents.
+    assert len(interner.ids) == len(interner.values)
+    for row in relation.rows:
+        for term_id in row:
+            value = interner.values[term_id]
+            assert interner.ids[value] == term_id
+    assert {interner.materialize_row(row) for row in relation.rows} \
+        == relation.tuples
 
 
 MIXED_OPS = st.lists(

@@ -13,6 +13,7 @@ from repro.net.transport import (
     decode_batch_message,
     encode_batch_item,
     encode_batch_message,
+    encode_batch_message_dict,
     encode_fact_message,
 )
 
@@ -50,6 +51,55 @@ class TestBatchCodec:
         bad = json.dumps({"round": "x", "batch": []}).encode()
         with pytest.raises(NetworkError):
             decode_batch_message(bad, registry)
+
+
+class TestDictCompressedCodec:
+    def test_roundtrip_multiple_items(self):
+        registry = RuleRegistry()
+        items = [("alice", "p", (1, "x")), ("", "q", (b"\x01",)),
+                 ("alice", "p", (1, "y"))]
+        blob = encode_batch_message_dict(items, registry, round_stamp=7)
+        round_stamp, decoded = decode_batch_message(blob, registry)
+        assert round_stamp == 7
+        assert decoded == items
+
+    def test_repeated_values_stored_once(self):
+        registry = RuleRegistry()
+        items = [("", "reach", ("node-with-a-long-name", i % 3))
+                 for i in range(40)]
+        compressed = encode_batch_message_dict(items, registry, 1)
+        legacy = encode_batch_message(
+            [encode_batch_item(pred, fact, registry, to=to)
+             for to, pred, fact in items], 1)
+        # one dictionary entry for the shared string, not forty
+        assert compressed.count(b"node-with-a-long-name") == 1
+        assert len(compressed) < len(legacy) / 3
+        assert decode_batch_message(compressed, registry) == \
+            decode_batch_message(legacy, registry)
+
+    def test_classified_as_batch_frame(self):
+        from repro.net.transport import frame_kind
+
+        registry = RuleRegistry()
+        blob = encode_batch_message_dict([("", "p", (1,))], registry, 2)
+        assert frame_kind(blob) == "batch"
+
+    @pytest.mark.parametrize("payload", [
+        {"round": "x", "names": [], "dict": [], "rows": []},
+        {"round": 0, "names": [1], "dict": [], "rows": []},
+        {"round": 0, "names": [], "dict": ["notag"], "rows": []},
+        {"round": 0, "names": ["", "p"], "dict": [], "rows": [[0]]},
+        {"round": 0, "names": ["", "p"], "dict": [], "rows": [[0, 5]]},
+        {"round": 0, "names": ["", "p"], "dict": [], "rows": [[0, -1]]},
+        {"round": 0, "names": ["", "p"], "dict": [], "rows": [[0, True]]},
+        {"round": 0, "names": ["", "p"],
+         "dict": [{"t": "int", "v": 1}], "rows": [[0, 1, 3]]},
+    ])
+    def test_malformed_compressed_payloads_rejected(self, payload):
+        registry = RuleRegistry()
+        blob = json.dumps(payload).encode("utf-8")
+        with pytest.raises(NetworkError):
+            decode_batch_message(blob, registry)
 
 
 class TestMessageBatcher:
@@ -98,3 +148,63 @@ class TestMessageBatcher:
         batcher = MessageBatcher(network, RuleRegistry())
         assert batcher.flush() == 0
         assert batcher.pending_items() == 0
+
+    def test_unknown_wire_format_rejected(self):
+        with pytest.raises(NetworkError):
+            MessageBatcher(make_network("a"), RuleRegistry(),
+                           wire_format="gzip")
+
+
+class TestWireFormatInterop:
+    """The mixed-version contract: dict default, legacy byte-for-byte."""
+
+    FACTS = [("p", (i % 4, "shared text", i)) for i in range(20)]
+
+    def _drain(self, wire_format):
+        network = make_network("a", "b")
+        batcher = MessageBatcher(network, RuleRegistry(),
+                                 wire_format=wire_format)
+        for pred, fact in self.FACTS:
+            batcher.add("a", "b", pred, fact, to="alice")
+        batcher.flush(round_stamp=9)
+        [(_, _, blob)] = network.deliver_all()
+        return blob
+
+    def test_legacy_format_is_byte_identical_to_old_encoder(self):
+        registry = RuleRegistry()
+        expected = encode_batch_message(
+            [encode_batch_item(pred, fact, registry, to="alice")
+             for pred, fact in self.FACTS], 9)
+        assert self._drain("legacy") == expected
+
+    def test_dict_batcher_matches_canonical_encoder(self):
+        registry = RuleRegistry()
+        expected = encode_batch_message_dict(
+            [("alice", pred, fact) for pred, fact in self.FACTS],
+            registry, 9)
+        assert self._drain("dict") == expected
+
+    def test_both_formats_decode_identically(self):
+        registry = RuleRegistry()
+        legacy = decode_batch_message(self._drain("legacy"), registry)
+        compressed = decode_batch_message(self._drain("dict"), registry)
+        assert compressed == legacy
+        assert compressed == (9, [("alice", pred, fact)
+                                  for pred, fact in self.FACTS])
+
+    def test_dict_format_is_smaller_on_repetitive_traffic(self):
+        assert len(self._drain("dict")) < len(self._drain("legacy")) / 2
+
+    def test_dict_format_respects_size_cap(self):
+        network = make_network("a", "b")
+        batcher = MessageBatcher(network, RuleRegistry(), max_bytes=256)
+        for i in range(50):
+            batcher.add("a", "b", "p", (i, f"unique payload text {i}"))
+        batcher.flush()
+        registry = RuleRegistry()
+        seen = set()
+        for _src, _dst, blob in network.deliver_all():
+            assert len(blob) <= 256 + 64
+            _stamp, items = decode_batch_message(blob, registry)
+            seen.update(fact for _to, _pred, fact in items)
+        assert seen == {(i, f"unique payload text {i}") for i in range(50)}

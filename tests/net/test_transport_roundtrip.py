@@ -33,6 +33,7 @@ from repro.net.transport import (
     decode_value,
     encode_batch_item,
     encode_batch_message,
+    encode_batch_message_dict,
     encode_reply_frame,
     encode_request_frame,
     encode_value,
@@ -177,6 +178,63 @@ class TestBatchRoundtrip:
         decoded_stamp, decoded = decode_batch_message(blob, registry)
         assert decoded_stamp == round_stamp
         assert decoded == [("x", pred, fact) for pred, fact in facts]
+
+    @given(
+        facts=st.lists(
+            st.tuples(identifiers, st.lists(values, min_size=1,
+                                            max_size=3).map(tuple)),
+            min_size=1, max_size=8),
+        round_stamp=st.integers(min_value=0, max_value=10 ** 6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_dict_compressed_batches_roundtrip(self, facts, round_stamp):
+        """Dictionary-compressed envelopes round-trip every value type,
+        and decode to exactly what a legacy peer's envelope decodes to —
+        the mixed-version interop contract, quantified."""
+        registry = RuleRegistry()
+        triples = [("x", pred, fact) for pred, fact in facts]
+        blob = encode_batch_message_dict(triples, registry, round_stamp)
+        decoded_stamp, decoded = decode_batch_message(blob, registry)
+        assert decoded_stamp == round_stamp
+        assert decoded == triples
+        legacy = encode_batch_message(
+            [encode_batch_item(pred, fact, registry, to="x")
+             for pred, fact in facts], round_stamp)
+        assert decode_batch_message(legacy, registry) == \
+            (decoded_stamp, decoded)
+
+    @given(
+        facts=st.lists(
+            st.tuples(identifiers, st.lists(values, min_size=1,
+                                            max_size=3).map(tuple)),
+            min_size=1, max_size=8),
+        round_stamp=st.integers(min_value=0, max_value=10 ** 6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_batcher_splicing_matches_canonical_encoder(self, facts,
+                                                        round_stamp):
+        """The batcher's incremental text-splicing emitter must produce
+        the same bytes as the canonical one-shot encoder, for any items
+        in any order (dictionary indices depend on insertion order)."""
+        from repro.net.batch import MessageBatcher
+
+        registry = RuleRegistry()
+
+        class _Sink:
+            blob = None
+
+            def send(self, src, dst, blob):
+                self.blob = blob
+
+        sink = _Sink()
+        batcher = MessageBatcher(sink, registry)
+        for pred, fact in facts:
+            batcher.add("a", "b", pred, fact, to="x")
+        batcher.flush(round_stamp)
+        expected = encode_batch_message_dict(
+            [("x", pred, fact) for pred, fact in facts],
+            registry, round_stamp)
+        assert sink.blob == expected
 
 
 # JSON-safe request/reply bodies: the serve layer runs fact values through
