@@ -36,7 +36,9 @@ from .diagnostics import (
     Diagnostic,
     dumps_report,
     failed,
+    partition_suppressed,
     render_text,
+    scan_suppressions,
     sort_key,
 )
 from .pipeline import DIALECTS, analyze_source, default_builtins
@@ -116,10 +118,20 @@ def build_placement(nodes: int, partitions: Iterable[str],
 
 
 def check_python_file(path: Path, source: str, *, dialect: str,
-                      builtins=None, placement=None,
-                      passes=None) -> list[Diagnostic]:
-    """Analyze every embedded program of a ``.py`` file."""
+                      builtins=None, placement=None, passes=None,
+                      collect_suppressed: Optional[list] = None
+                      ) -> list[Diagnostic]:
+    """Analyze every embedded program of a ``.py`` file.
+
+    Diagnostics are relocated onto the embedding file and sorted by
+    (file, line, col, code) — extraction order must never leak into the
+    report, or ``--format json`` diffs churn across runs.  Suppression
+    pragmas work at both levels: ``%# check: ignore[...]`` inside the
+    embedded program text, and ``# check: ignore[...]`` on the ``.py``
+    line the finding lands on.
+    """
     diagnostics: list[Diagnostic] = []
+    suppressed: list[Diagnostic] = []
     try:
         programs = extract_programs(source)
     except SyntaxError as exc:
@@ -129,31 +141,48 @@ def check_python_file(path: Path, source: str, *, dialect: str,
         return [Diagnostic("R000", f"embedding file does not parse: "
                            f"{exc.msg}", file=str(path), span=span)]
     for _, offset, text in programs:
-        for diagnostic in analyze_source(text, dialect=dialect,
-                                         builtins=builtins,
-                                         placement=placement,
-                                         passes=passes):
+        inner_suppressed: list[Diagnostic] = []
+        for diagnostic in analyze_source(
+                text, dialect=dialect, builtins=builtins,
+                placement=placement, passes=passes,
+                collect_suppressed=inner_suppressed):
             diagnostics.append(diagnostic.shifted(offset, str(path)))
-    return diagnostics
+        suppressed.extend(d.shifted(offset, str(path))
+                          for d in inner_suppressed)
+    # Second suppression level: pragmas written in the .py file itself.
+    py_suppressions = scan_suppressions(source)
+    if py_suppressions:
+        diagnostics, py_suppressed = partition_suppressed(
+            diagnostics, py_suppressions)
+        suppressed.extend(py_suppressed)
+    if collect_suppressed is not None:
+        collect_suppressed.extend(sorted(suppressed, key=sort_key))
+    return sorted(diagnostics, key=sort_key)
 
 
 def check_file(path: Path, *, dialect: str = "auto", builtins=None,
-               placement=None, passes=None
+               placement=None, passes=None,
+               collect_suppressed: Optional[list] = None
                ) -> tuple[list[Diagnostic], Optional[str]]:
-    """Analyze one file; returns (diagnostics, source-for-excerpts)."""
+    """Analyze one file; returns (sorted diagnostics, source)."""
     source = path.read_text(encoding="utf-8")
     if path.suffix == ".py":
         return (check_python_file(path, source, dialect=dialect,
                                   builtins=builtins, placement=placement,
-                                  passes=passes), source)
-    return analyze_source(source, file=str(path), dialect=dialect,
-                          builtins=builtins, placement=placement,
-                          passes=passes), source
+                                  passes=passes,
+                                  collect_suppressed=collect_suppressed),
+                source)
+    diagnostics = analyze_source(source, file=str(path), dialect=dialect,
+                                 builtins=builtins, placement=placement,
+                                 passes=passes,
+                                 collect_suppressed=collect_suppressed)
+    return sorted(diagnostics, key=sort_key), source
 
 
-def check_paper_listings(*, builtins=None, placement=None,
-                         passes=None) -> tuple[list[Diagnostic], dict]:
-    """Analyze the embedded paper-listing corpus."""
+def check_paper_listings(*, builtins=None, placement=None, passes=None,
+                         collect_suppressed: Optional[list] = None
+                         ) -> tuple[list[Diagnostic], dict]:
+    """Analyze the embedded paper-listing corpus (sorted report)."""
     from .corpus import iter_corpus
 
     diagnostics: list[Diagnostic] = []
@@ -161,12 +190,11 @@ def check_paper_listings(*, builtins=None, placement=None,
     for name, dialect, source in iter_corpus():
         label = f"<listing {name}>"
         sources[label] = source
-        diagnostics.extend(analyze_source(source, file=label,
-                                          dialect=dialect,
-                                          builtins=builtins,
-                                          placement=placement,
-                                          passes=passes))
-    return diagnostics, sources
+        diagnostics.extend(analyze_source(
+            source, file=label, dialect=dialect, builtins=builtins,
+            placement=placement, passes=passes,
+            collect_suppressed=collect_suppressed))
+    return sorted(diagnostics, key=sort_key), sources
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,7 +202,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro check",
         description="Static analysis for LBTrust programs "
                     "(safety, stratification, types, dead code, "
-                    "attribution, placement)",
+                    "attribution, placement, authority flow, "
+                    "delegation depth, static cost)",
     )
     parser.add_argument("files", nargs="*", metavar="FILE",
                         help="program files; .py files have embedded "
@@ -235,6 +264,7 @@ def main(argv: Optional[list] = None,
 
     builtins = default_builtins()
     diagnostics: list[Diagnostic] = []
+    suppressed: list[Diagnostic] = []
     sources: dict[str, str] = {}
     for name in args.files:
         path = Path(name)
@@ -245,7 +275,8 @@ def main(argv: Optional[list] = None,
             file_diags, source = check_file(path, dialect=args.dialect,
                                             builtins=builtins,
                                             placement=placement,
-                                            passes=passes)
+                                            passes=passes,
+                                            collect_suppressed=suppressed)
         except ValueError as exc:  # unknown pass / dialect
             print(f"repro check: {exc}", file=sys.stderr)
             return 2
@@ -255,7 +286,8 @@ def main(argv: Optional[list] = None,
     if args.paper_listings:
         try:
             listing_diags, listing_sources = check_paper_listings(
-                builtins=builtins, placement=placement, passes=passes)
+                builtins=builtins, placement=placement, passes=passes,
+                collect_suppressed=suppressed)
         except ValueError as exc:
             print(f"repro check: {exc}", file=sys.stderr)
             return 2
@@ -263,10 +295,13 @@ def main(argv: Optional[list] = None,
         sources.update(listing_sources)
 
     diagnostics.sort(key=sort_key)
+    suppressed.sort(key=sort_key)
     if args.fmt == "json":
-        print(dumps_report(diagnostics, strict=args.strict), file=out)
+        print(dumps_report(diagnostics, strict=args.strict,
+                           suppressed=suppressed), file=out)
     else:
-        print(render_text(diagnostics, sources), file=out)
+        print(render_text(diagnostics, sources, suppressed=suppressed),
+              file=out)
     return 1 if failed(diagnostics, strict=args.strict) else 0
 
 

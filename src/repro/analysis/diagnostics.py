@@ -14,11 +14,21 @@ R2xx      mixed      catalog: arity clashes (error), type conflicts (warn)
 R3xx      info       dead code: underivable preds, singletons, dead rules
 R4xx      warning    attribution: says-shipped predicates read plainly
 R5xx      error      placement: join co-location, distributability
+R6xx      mixed      dataflow: authority taint (warn), delegation depth
+R7xx      mixed      static cost: Cartesian/shard explosions (warn/info)
 ========  =========  ==================================================
 
 Severity drives exit codes and the load-time gates: *errors* always
 reject, *warnings* reject only under ``--strict``, *info* findings never
 reject (the paper's own listings contain benign singletons).
+
+A diagnostic can be suppressed in place with an inline pragma on the
+offending line — ``%# check: ignore[R302]`` in program syntax (``%``
+starts a comment in every dialect), ``# check: ignore[R302]`` in a
+``.py`` embedding, ``ignore[]`` for every code.  Suppressed findings are
+never silently dropped: they are partitioned out
+(:func:`partition_suppressed`) and counted in the JSON report under
+``suppressed``.
 
 The JSON rendering is schema-versioned (``repro-check/v1``) following the
 ``repro-bench/v1`` convention, so CI jobs and external tooling can consume
@@ -28,6 +38,7 @@ reports without sniffing shapes.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
@@ -60,6 +71,19 @@ CODES: dict[str, tuple[str, str]] = {
     "R401": (WARNING, "says-shipped predicate read without attribution"),
     "R501": (ERROR, "join is not co-located under the placement"),
     "R502": (ERROR, "nonmonotone stratum over exchanged predicates"),
+    "R601": (WARNING, "authorization decision reachable from "
+                      "unattributed input"),
+    "R602": (WARNING, "says-exported predicate derived from "
+                      "unattributed input"),
+    "R603": (INFO, "authorization decision ignores attributed input"),
+    "R611": (WARNING, "unbounded delegation recursion"),
+    "R612": (WARNING, "delegation depth guard never decreases"),
+    "R613": (WARNING, "unbounded delegation cycle crosses the says "
+                      "boundary"),
+    "R701": (WARNING, "estimated Cartesian join explosion"),
+    "R702": (WARNING, "estimated cross-shard exchange volume"),
+    "R703": (INFO, "body literals joined without a shared variable"),
+    "R704": (INFO, "recursive cardinality estimate does not stabilize"),
 }
 
 
@@ -157,6 +181,52 @@ def summarize(diagnostics: Iterable[Diagnostic]) -> dict:
             "infos": counts[INFO]}
 
 
+# ---------------------------------------------------------------------------
+# Inline suppression pragmas
+# ---------------------------------------------------------------------------
+
+#: ``%# check: ignore[R302]`` (program text), ``//# ...`` (C-style
+#: comments), or ``# ...`` (.py embeddings).  An empty bracket
+#: suppresses every code on that line.
+_PRAGMA = re.compile(
+    r"(?:%|//)?#\s*check:\s*ignore\[([A-Za-z0-9_\s,]*)\]")
+
+
+def scan_suppressions(source: str) -> dict[int, frozenset]:
+    """Line number → codes suppressed there (empty set = all codes)."""
+    suppressions: dict[int, frozenset] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is not None:
+            codes = frozenset(code.strip()
+                              for code in match.group(1).split(",")
+                              if code.strip())
+            suppressions[lineno] = codes
+    return suppressions
+
+
+def partition_suppressed(diagnostics: Iterable[Diagnostic],
+                         suppressions: dict
+                         ) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Split diagnostics into (kept, suppressed) against a pragma map.
+
+    A diagnostic is suppressed when a pragma sits on its span's line and
+    either names its code or names no code at all.  Span-less
+    diagnostics are never suppressed — there is no line to anchor the
+    pragma to.
+    """
+    kept: list[Diagnostic] = []
+    suppressed: list[Diagnostic] = []
+    for diagnostic in diagnostics:
+        codes = (suppressions.get(diagnostic.span.line)
+                 if diagnostic.span is not None else None)
+        if codes is not None and (not codes or diagnostic.code in codes):
+            suppressed.append(diagnostic)
+        else:
+            kept.append(diagnostic)
+    return kept, suppressed
+
+
 def failed(diagnostics: Iterable[Diagnostic], strict: bool = False) -> bool:
     """True when the report should reject: errors, or warnings + strict."""
     for diagnostic in diagnostics:
@@ -182,7 +252,8 @@ def excerpt(source: str, span: Span) -> Optional[str]:
 
 
 def render_text(diagnostics: Iterable[Diagnostic],
-                sources: Optional[dict] = None) -> str:
+                sources: Optional[dict] = None,
+                suppressed: Iterable[Diagnostic] = ()) -> str:
     """Human-readable report; ``sources`` maps file name → program text."""
     out: list[str] = []
     ordered = sorted(diagnostics, key=sort_key)
@@ -196,8 +267,12 @@ def render_text(diagnostics: Iterable[Diagnostic],
                 if snippet is not None:
                     out.append(snippet)
     summary = summarize(ordered)
-    out.append(f"{summary['errors']} error(s), {summary['warnings']} "
-               f"warning(s), {summary['infos']} info(s)")
+    line = (f"{summary['errors']} error(s), {summary['warnings']} "
+            f"warning(s), {summary['infos']} info(s)")
+    suppressed = list(suppressed)
+    if suppressed:
+        line += f", {len(suppressed)} suppressed"
+    out.append(line)
     return "\n".join(out)
 
 
@@ -206,14 +281,20 @@ def render_text(diagnostics: Iterable[Diagnostic],
 # ---------------------------------------------------------------------------
 
 def report_to_json(diagnostics: Iterable[Diagnostic],
-                   strict: bool = False) -> dict:
+                   strict: bool = False,
+                   suppressed: Iterable[Diagnostic] = ()) -> dict:
     ordered = sorted(diagnostics, key=sort_key)
+    hidden = sorted(suppressed, key=sort_key)
+    summary = summarize(ordered)
+    summary["suppressed"] = len(hidden)
     return {
         "schema": SCHEMA,
         "strict": strict,
         "ok": not failed(ordered, strict),
-        "summary": summarize(ordered),
+        "summary": summary,
         "diagnostics": [d.to_json() for d in ordered],
+        # Pragma-suppressed findings are reported, never dropped.
+        "suppressed": [d.to_json() for d in hidden],
     }
 
 
@@ -227,6 +308,7 @@ def report_from_json(data: dict) -> list[Diagnostic]:
 
 
 def dumps_report(diagnostics: Iterable[Diagnostic],
-                 strict: bool = False) -> str:
-    return json.dumps(report_to_json(diagnostics, strict), indent=2,
-                      sort_keys=True)
+                 strict: bool = False,
+                 suppressed: Iterable[Diagnostic] = ()) -> str:
+    return json.dumps(report_to_json(diagnostics, strict, suppressed),
+                      indent=2, sort_keys=True)

@@ -20,7 +20,11 @@ Pass families (see :mod:`repro.analysis.diagnostics` for the code table):
   :mod:`repro.workspace.typecheck` delegates to it);
 * ``deadcode`` — R301/R302/R303, informational;
 * ``attribution`` — R401, says-shipped predicates read unattributed;
-* ``placement`` — R501/R502, a placement dry-run without a cluster.
+* ``placement`` — R501/R502, a placement dry-run without a cluster;
+* ``authority`` — R601-R603, taint flow into authorization decisions
+  (:mod:`repro.analysis.dataflow`);
+* ``delegation`` — R611-R613, unbounded delegation recursion;
+* ``cost`` — R701-R704, static cardinality/selectivity estimates.
 """
 
 from __future__ import annotations
@@ -39,13 +43,14 @@ from ..datalog.terms import (
     Rule,
 )
 from ..workspace.catalog import Catalog
+from .dataflow import (
+    SYSTEM_PREDS as _SYSTEM_PREDS,
+    authority_pass,
+    cost_pass,
+    delegation_pass,
+    quoted_functors as _quote_functors,
+)
 from .diagnostics import Diagnostic
-
-#: Predicates provided by the trust-management machinery itself; they are
-#: derivable even when a program fragment does not define them.
-_SYSTEM_PREDS = frozenset({
-    "says", "active", "export", "request", "predNode", "loc", "node",
-})
 
 
 def _meta_preds() -> frozenset:
@@ -400,17 +405,6 @@ def deadcode_pass(ctx) -> list[Diagnostic]:
     return diagnostics
 
 
-def _quote_functors(atom) -> set:
-    """Concrete predicate names quoted inside an atom's arguments."""
-    functors: set = set()
-    for term in atom.all_args:
-        if isinstance(term, Quote):
-            for head in term.pattern.heads:
-                if isinstance(head.functor, str):
-                    functors.add(head.functor)
-    return functors
-
-
 _IRREFLEXIVE = {"<", ">", "!="}
 
 
@@ -582,10 +576,17 @@ PASSES = {
     "deadcode": deadcode_pass,
     "attribution": attribution_pass,
     "placement": placement_pass,
+    "authority": authority_pass,
+    "delegation": delegation_pass,
+    "cost": cost_pass,
 }
 
 #: Passes every surface runs by default.
 DEFAULT_PASSES = tuple(PASSES)
 
-#: Passes the load-time gates run (fast, engine-equivalent subset).
-GATE_PASSES = ("safety", "stratification", "types")
+#: Passes the load-time gates run: the engine-equivalent subset plus the
+#: dataflow families, whose findings are warnings/infos (they surface in
+#: ``last_check`` and the serve-plane load reply, never reject a load
+#: unless a strict caller opts in).
+GATE_PASSES = ("safety", "stratification", "types",
+               "authority", "delegation", "cost")

@@ -30,7 +30,13 @@ from ..datalog.errors import (
     WorkspaceError,
 )
 from ..datalog.terms import Rule
-from .diagnostics import ERROR, Diagnostic, sort_key
+from .diagnostics import (
+    ERROR,
+    Diagnostic,
+    partition_suppressed,
+    scan_suppressions,
+    sort_key,
+)
 from .passes import DEFAULT_PASSES, GATE_PASSES, PASSES
 
 __all__ = [
@@ -114,13 +120,28 @@ def run_passes(ctx: AnalysisContext,
 def analyze_statements(statements: Iterable, *, file: Optional[str] = None,
                        source: Optional[str] = None, builtins=None,
                        placement=None,
-                       passes: Optional[Iterable[str]] = None
+                       passes: Optional[Iterable[str]] = None,
+                       collect_suppressed: Optional[list] = None
                        ) -> list[Diagnostic]:
-    """Analyze parsed statements; the shared core behind gate and CLI."""
+    """Analyze parsed statements; the shared core behind gate and CLI.
+
+    When ``source`` is given, inline ``%# check: ignore[...]`` pragmas
+    suppress matching diagnostics on their line; suppressed findings are
+    appended to ``collect_suppressed`` (when supplied) so callers can
+    report them — they are removed from the return value but never lost.
+    """
     ctx = AnalysisContext(statements=list(statements), file=file,
                           source=source, builtins=builtins,
                           placement=placement)
-    return run_passes(ctx, passes)
+    diagnostics = run_passes(ctx, passes)
+    if source is not None:
+        suppressions = scan_suppressions(source)
+        if suppressions:
+            diagnostics, suppressed = partition_suppressed(
+                diagnostics, suppressions)
+            if collect_suppressed is not None:
+                collect_suppressed.extend(suppressed)
+    return diagnostics
 
 
 # ---------------------------------------------------------------------------
@@ -168,12 +189,15 @@ def parse_dialect(source: str, dialect: str = "auto") -> list:
 
 def analyze_source(source: str, *, file: Optional[str] = None,
                    dialect: str = "auto", builtins=None, placement=None,
-                   passes: Optional[Iterable[str]] = None
+                   passes: Optional[Iterable[str]] = None,
+                   collect_suppressed: Optional[list] = None
                    ) -> list[Diagnostic]:
     """Parse (auto-detecting the dialect) and analyze one program text.
 
     A parse failure yields a single ``R000`` diagnostic carrying the
     parser's span instead of propagating :class:`ParseError`.
+    ``collect_suppressed`` receives pragma-suppressed findings (see
+    :func:`analyze_statements`).
     """
     from ..datalog.terms import Span
 
@@ -189,7 +213,8 @@ def analyze_source(source: str, *, file: Optional[str] = None,
         return [Diagnostic("R000", message, file=file, span=span)]
     return analyze_statements(statements, file=file, source=source,
                               builtins=builtins, placement=placement,
-                              passes=passes)
+                              passes=passes,
+                              collect_suppressed=collect_suppressed)
 
 
 # ---------------------------------------------------------------------------

@@ -67,6 +67,26 @@ def _terms_colocate(left: Term, right: Term) -> bool:
     return False
 
 
+def exchanged_rule_preds(rule, partitioner: Partitioner) -> set:
+    """Predicates of one rule (surface or engine form) whose facts the
+    placement exchanges — partitioned or replicated heads and positive
+    body reads.  Consumed by the analyzer's static cost pass: a rule
+    over exchanged predicates pays network per derived row, so its
+    cardinality estimate is a shard-traffic estimate."""
+    touched: set = set()
+    heads = getattr(rule, "heads", None)
+    if heads is None:  # engine rules carry a single head
+        heads = (rule.head,)
+    for head in heads:
+        if partitioner.is_exchanged(head.pred):
+            touched.add(head.pred)
+    for item in rule.body:
+        if isinstance(item, Literal) and not item.negated \
+                and partitioner.is_exchanged(item.atom.pred):
+            touched.add(item.atom.pred)
+    return touched
+
+
 def analyze_join_compatibility(rules: Iterable,
                                partitioner: Partitioner) -> list[PlacementIssue]:
     """Every rule whose body joins are not co-located under the placement.

@@ -37,7 +37,6 @@ from ..datalog.builtins import BuiltinRegistry
 from ..datalog.engine import EngineRule, EvalStats, normalize_rules
 from ..datalog.errors import ClusterError
 from ..datalog.parser import parse_statements
-from ..datalog.runtime import check_rule_safety
 from ..datalog.stratify import stratify
 from ..datalog.terms import Rule
 from ..meta.quote import compile_rule
@@ -155,6 +154,8 @@ class Cluster:
         self.auto_replicated: list[str] = []
         #: diagnostics from the most recent :meth:`load` static check.
         self.last_check: list = []
+        #: findings pragma-suppressed during that check.
+        self.last_check_suppressed: list = []
         self.runtime = ExecutionRuntime(
             self.nodes, self.network, self.registry, mode=mode,
             max_batch_bytes=max_batch_bytes, ledger=self.ledger, strict=True)
@@ -216,10 +217,14 @@ class Cluster:
             analyze_statements,
             raise_for_errors,
         )
-        report = analyze_statements(statements, builtins=sample_builtins,
-                                    passes=GATE_PASSES)
+        suppressed: list = []
+        report = analyze_statements(
+            statements, source=source if isinstance(source, str) else None,
+            builtins=sample_builtins, placement=self.partitioner,
+            passes=GATE_PASSES, collect_suppressed=suppressed)
         raise_for_errors(report)
         self.last_check = report
+        self.last_check_suppressed = suppressed
         engine_rules: list[EngineRule] = []
         for index, rule in enumerate(rules):
             compiled = compile_rule(rule, principal=None,

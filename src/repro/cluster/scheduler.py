@@ -62,7 +62,7 @@ verifies statically at ``load()`` instead of trusting the programmer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..datalog.errors import ClusterError, NetworkError

@@ -112,11 +112,13 @@ def tarjan_sccs(graph: DepGraph) -> list[frozenset]:
     return result
 
 
-def _cycle_path(graph: DepGraph, start: str, goal: str,
-                component: frozenset) -> list[str]:
+def cycle_path(graph: DepGraph, start: str, goal: str,
+               component: frozenset) -> list[str]:
     """Shortest dependency path ``start → … → goal`` inside one SCC (BFS
     over positive+negative edges; both endpoints are in the component, so
-    a path exists by the definition of an SCC)."""
+    a path exists by the definition of an SCC).  Public because the
+    analyzer's dataflow passes render their cycles with it, mirroring
+    :func:`find_negative_cycle`'s presentation."""
     if start == goal:
         return [start]
     frontier = [start]
@@ -140,6 +142,10 @@ def _cycle_path(graph: DepGraph, start: str, goal: str,
     return [start, goal]  # pragma: no cover - SCC guarantees a path
 
 
+#: Backwards-compatible private alias (pre-analyzer callers).
+_cycle_path = cycle_path
+
+
 def find_negative_cycle(graph: DepGraph) -> Optional[tuple[str, str, list[str]]]:
     """The first negative edge inside a cycle, with the cycle spelled out.
 
@@ -156,8 +162,8 @@ def find_negative_cycle(graph: DepGraph) -> Optional[tuple[str, str, list[str]]]
     for source in sorted(graph.negative):
         for target in sorted(graph.negative[source]):
             if component_of[source] is component_of[target]:
-                path = _cycle_path(graph, target, source,
-                                   component_of[source])
+                path = cycle_path(graph, target, source,
+                                  component_of[source])
                 return source, target, path + [target]
     return None
 

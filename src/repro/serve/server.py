@@ -132,7 +132,11 @@ class TrustServer:
                 d.to_json() for d in principal.workspace.last_check
                 if d.severity == "warning"
             ]
-            return {"warnings": warnings}
+            suppressed = [
+                d.to_json()
+                for d in principal.workspace.last_check_suppressed
+            ]
+            return {"warnings": warnings, "suppressed": suppressed}
         if op == "query":
             return self._op_query(body)
         if op == "sync":

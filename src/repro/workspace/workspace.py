@@ -109,6 +109,9 @@ class Workspace:
         #: diagnostics from the most recent :meth:`load` static check
         #: (errors raise instead; this holds the warnings/infos).
         self.last_check: list = []
+        #: findings pragma-suppressed during that check — kept so a
+        #: ``%# check: ignore[...]`` never silently hides a diagnostic.
+        self.last_check_suppressed: list = []
         self.stats = EvalStats()
         self.max_activation_rounds = max_activation_rounds
         self.provenance: Optional[ProvenanceStore] = (
@@ -164,11 +167,14 @@ class Workspace:
             raise_for_errors,
         )
 
+        suppressed: list = []
         report = analyze_statements(statements, source=source,
                                     builtins=self.builtins,
-                                    passes=GATE_PASSES)
+                                    passes=GATE_PASSES,
+                                    collect_suppressed=suppressed)
         raise_for_errors(report)
         self.last_check = report
+        self.last_check_suppressed = suppressed
         warnings = [d for d in report if d.severity == WARNING]
         if warnings:
             self.audit.append(AuditEvent("static_check_warnings", {

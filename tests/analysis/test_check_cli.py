@@ -122,3 +122,58 @@ def test_placement_dry_run_flags(tmp_path):
 def test_dispatch_from_top_level_cli(bad_file, capsys):
     assert repro_main(["check", str(bad_file)]) == 1
     assert "[R001]" in capsys.readouterr().out
+
+
+def test_pragma_suppression_in_program_and_py_levels(tmp_path):
+    path = tmp_path / "emb.py"
+    path.write_text(
+        'PROGRAM = """\n'
+        'z(X) <- w(X,Y), v(X). %# check: ignore[R302]\n'
+        'w(1,2). v(1).\n'
+        '"""\n'
+        'OTHER = "a(X) <- b(X,Y), c(X).\\nb(1,2). c(1)."'
+        '  # check: ignore[R302]\n')
+    code, text = run(["--format", "json", str(path)])
+    report = json.loads(text)
+    assert code == 0
+    assert report["summary"]["suppressed"] == 2
+    assert [d["code"] for d in report["diagnostics"]] == []
+    # both levels land in the suppressed list, relocated to the .py file
+    assert [(d["code"], d["line"]) for d in report["suppressed"]] == [
+        ("R302", 2), ("R302", 5)]
+
+
+def test_pragma_must_name_the_right_code(tmp_path):
+    path = tmp_path / "wrong.dl"
+    path.write_text("p(X) <- q(X,Y), r(X). %# check: ignore[R301]\n"
+                    "q(1,2). r(1).\n")
+    code, text = run(["--format", "json", str(path)])
+    report = json.loads(text)
+    assert report["summary"]["suppressed"] == 0
+    assert "R302" in [d["code"] for d in report["diagnostics"]]
+
+
+def test_suppressed_count_in_text_rendering(tmp_path):
+    path = tmp_path / "sup.dl"
+    path.write_text("p(X) <- q(X,Y), r(X). %# check: ignore[]\n"
+                    "q(1,2). r(1).\n")
+    code, text = run([str(path)])
+    assert code == 0
+    assert "1 suppressed" in text
+
+
+def test_python_report_is_sorted_regardless_of_extraction_order(tmp_path):
+    # the later call site embeds a program whose finding lands *above*
+    # the ALL_CAPS assignment's finding; the report must still be in
+    # (file, line, col, code) order.
+    path = tmp_path / "order.py"
+    path.write_text(
+        'LATE = "p(X) <- q(X,Y), r(X).\\nq(1,2). r(1)."\n'
+        '\n'
+        'def setup(ws):\n'
+        '    ws.load("a(X) <- b(X,Y), c(X).\\nb(1,2). c(1).")\n')
+    code, text = run(["--format", "json", str(path)])
+    report = json.loads(text)
+    lines = [d["line"] for d in report["diagnostics"]]
+    assert lines == sorted(lines)
+    assert len(lines) >= 2

@@ -1,0 +1,285 @@
+"""Dataflow engine and its three pass families: exact codes and spans.
+
+Mirrors ``test_passes.py``: every new family (R60x authority taint, R61x
+delegation depth, R70x static cost) must fire with a stable code and a
+precise ``file:line:col`` span on a program seeded with exactly that
+defect — and must stay silent on the says/delegation machinery the
+runtime installs and on the paper-listing corpus.
+"""
+
+from repro.analysis import analyze_source
+from repro.analysis.cli import build_placement
+from repro.analysis.dataflow import (
+    CardinalityLattice,
+    FlowEdge,
+    FlowEquation,
+    TaintLattice,
+    is_auth_sink,
+    is_delegation_pred,
+    solve,
+)
+
+
+def check(source, **kwargs):
+    return analyze_source(source, file="t.dl", **kwargs)
+
+
+def by_code(diags, code):
+    return [d for d in diags if d.code == code]
+
+
+def only(diags, code):
+    found = by_code(diags, code)
+    assert len(found) == 1, f"expected one {code}, got {diags}"
+    return found[0]
+
+
+# -- the monotone framework itself ------------------------------------------
+
+def test_solve_propagates_taint_through_a_chain():
+    lattice = TaintLattice()
+    equations = [
+        FlowEquation("a", (FlowEdge(seed=frozenset({"unattributed"})),),
+                     kind="seed"),
+        FlowEquation("b", (FlowEdge(pred="a"),)),
+        FlowEquation("c", (FlowEdge(pred="b"),
+                           FlowEdge(seed=frozenset({"edb"})))),
+    ]
+    solution = solve(equations, lattice)
+    assert solution.value("a") == frozenset({"unattributed"})
+    assert solution.value("b") == frozenset({"unattributed"})
+    assert solution.value("c") == frozenset({"unattributed", "edb"})
+    assert not solution.unstable  # powerset lattice converges exactly
+
+
+def test_solve_reaches_fixpoint_on_a_cycle():
+    lattice = TaintLattice()
+    equations = [
+        FlowEquation("p", (FlowEdge(pred="q"),
+                           FlowEdge(seed=frozenset({"attributed"})),)),
+        FlowEquation("q", (FlowEdge(pred="p"),)),
+    ]
+    solution = solve(equations, lattice)
+    assert solution.value("p") == solution.value("q") == \
+        frozenset({"attributed"})
+    assert not solution.unstable
+
+
+def test_solve_widens_nonconverging_components():
+    lattice = CardinalityLattice(cap=1000.0)
+    equation = FlowEquation("p", (FlowEdge(pred="p"),))
+
+    def transfer(eq, values):
+        return values.get("p", 0.0) * 2 + 1  # strictly growing
+
+    solution = solve([equation], lattice, transfer=transfer, max_rounds=4)
+    assert solution.value("p") == 1000.0  # widened to the cap
+    assert "p" in solution.unstable
+
+
+def test_sink_and_delegation_heuristics():
+    assert is_auth_sink("authorize")
+    assert is_auth_sink("mayRead")
+    assert is_auth_sink("accessControl")
+    assert not is_auth_sink("maybe")  # "may" needs an uppercase follower
+    assert not is_auth_sink("route")
+    assert is_delegation_pred("delegates")
+    assert is_delegation_pred("inferredDelDepth")
+    assert not is_delegation_pred("delWidth")  # width is not a depth chain
+    assert not is_delegation_pred("reach")
+
+
+# -- R60x: authority flow ---------------------------------------------------
+
+def test_r601_unattributed_input_reaches_authorization():
+    source = ("authorize(P,O) <- active(R), request(P,O).\n"
+              "active(R) <- says(_,me,R).")
+    d = only(check(source), "R601")
+    assert d.severity == "warning"
+    assert d.location() == "t.dl:1:1"
+    assert d.pred == "authorize"
+    # the witness chain names the source and the path
+    assert "unattributed says import -> active -> authorize" in d.message
+
+
+def test_r601_fires_on_plain_read_of_shipped_predicate():
+    # cred is only ever says-shipped (R401 territory); reading it plainly
+    # feeds the decision from unattributed input too.
+    source = ("ok(U,C) <- says(U,me,[| cred(C). |]).\n"
+              "mayRead(U,F) <- cred(U), file(F).\n"
+              "file(1).")
+    diags = check(source)
+    d = only(diags, "R601")
+    assert d.pred == "mayRead"
+    assert by_code(diags, "R401")  # the local symptom is still reported
+
+
+def test_r602_says_export_derived_from_unattributed_input():
+    source = ('says(me,P,[| grant(U). |]) <- active(U), peer(P).\n'
+              'active(U) <- says(_,me,[| activeReq(U). |]).\n'
+              'peer("bob").')
+    d = only(check(source), "R602")
+    assert d.severity == "warning"
+    assert d.location() == "t.dl:1:1"
+    assert d.pred == "grant"
+    assert "unattributed says import -> active -> grant" in d.message
+
+
+def test_r603_decision_ignores_every_speaker():
+    source = ("authorize(P,O) <- owner(P,O).\n"
+              "heard(R) <- says(U,me,R).\n"
+              "owner(1,2).")
+    d = only(check(source), "R603")
+    assert d.severity == "info"
+    assert d.location() == "t.dl:1:1"
+    assert d.pred == "authorize"
+
+
+def test_attributed_authorization_is_clean():
+    source = ("authorize(P,O) <- active(R), owner(P,O).\n"
+              'active(R) <- says("alice",me,R).\n'
+              "owner(1,2).")
+    diags = check(source)
+    assert not [d for d in diags if d.code.startswith("R6")]
+
+
+# -- R61x: delegation depth -------------------------------------------------
+
+def test_r611_unbounded_delegation_recursion():
+    d = only(check("delegates(U1,U3,P) <- delegates(U1,U2,P), "
+                   "delegates(U2,U3,P)."), "R611")
+    assert d.severity == "warning"
+    assert d.location() == "t.dl:1:1"
+    assert d.pred == "delegates"
+    assert "delegates -> delegates" in d.message
+    assert "dd2b" in d.message  # points at the paper's own fix
+
+
+def test_r612_guard_that_never_decreases():
+    source = ("delDepth(U1,U3,P,N) <- delDepth(U1,U2,P,N), "
+              "delDepth(U2,U3,P,N), N > 0.")
+    d = only(check(source), "R612")
+    assert d.severity == "warning"
+    assert d.location() == "t.dl:1:1"
+    assert "never decreases" in d.message
+
+
+def test_r613_cycle_crossing_the_says_boundary():
+    source = (
+        "delegates(A,C,P) <- says(_,me,[| delegates(A,B,P). |]), "
+        "link(B,C).\n"
+        "says(me,P2,[| delegates(A,C,P). |]) <- delegates(A,B,P), "
+        "link(B,C), peer(P2).\n"
+        'link(1,2). peer("bob").')
+    diags = check(source)
+    d = only(diags, "R613")
+    assert d.severity == "warning"
+    assert d.location() == "t.dl:1:1"
+    assert "says boundary" in d.message
+    assert not by_code(diags, "R611")  # R613 subsumes, no double report
+
+
+def test_dd2b_style_decreasing_guard_is_clean():
+    # the paper's own fix: guard N > 0, head rewrites N to N - 1
+    source = ("delDepth(U1,U3,P,N) <- delDepth(U1,U2,P,M), "
+              "link(U2,U3), M > 0, N = M - 1.\n"
+              "link(1,2).")
+    diags = check(source)
+    assert not [d for d in diags if d.code.startswith("R61")]
+
+
+# -- R70x: static cost ------------------------------------------------------
+
+def test_r701_cartesian_explosion():
+    d = only(check("blowup(X,Y,Z,W) <- pair(X,Y), other(Z,W)."), "R701")
+    assert d.severity == "warning"
+    assert d.location() == "t.dl:1:31"  # the literal with no shared var
+    assert d.pred == "blowup"
+    assert "~1e+08" in d.message
+
+
+def test_r703_small_cartesian_is_info_only():
+    source = ("m(X,Y) <- a(X), b(Y).\n"
+              "a(X) -> mode(X).\n"
+              "b(Y) -> mode(Y).")
+    diags = check(source)
+    d = only(diags, "R703")
+    assert d.severity == "info"
+    assert d.location() == "t.dl:1:17"
+    assert not by_code(diags, "R701")  # 8 * 8 rows is not an explosion
+
+
+def test_r702_and_r704_on_partitioned_recursion():
+    placement = build_placement(4, ["edge=0"], [])
+    source = ("reach(X,Y) <- edge(X,Y).\n"
+              "reach(X,Y) <- reach(X,Z), edge(Z,Y).")
+    diags = check(source, placement=placement, passes=("cost",))
+    d702 = only(diags, "R702")
+    assert d702.severity == "warning"
+    assert d702.location() == "t.dl:2:1"
+    assert "'edge'" in d702.message and "4-node" in d702.message
+    d704 = only(diags, "R704")
+    assert d704.severity == "info"
+    assert d704.pred == "reach"
+
+
+def test_cost_pass_without_placement_skips_r702():
+    source = ("reach(X,Y) <- edge(X,Y).\n"
+              "reach(X,Y) <- reach(X,Z), edge(Z,Y).")
+    diags = check(source, passes=("cost",))
+    assert not by_code(diags, "R702")
+
+
+def test_shared_variable_join_is_clean():
+    diags = check("j(X,Z) <- l(X,Y), r(Y,Z).\nl(1,2). r(2,3).")
+    assert not [d for d in diags if d.code.startswith("R7")]
+
+
+# -- the installed machinery must stay silent -------------------------------
+
+def test_machinery_fragments_are_clean_of_new_codes():
+    from repro.core import delegation, says
+
+    fragments = [
+        says.SAYS1,
+        says.EXP2,
+        says.DECLARATIONS,
+        says.HEARD_DECLARATION,
+        delegation.SPEAKS_FOR_TEMPLATE.format(who="alice"),
+        delegation.DELEGATION_RULES,
+        delegation.DEPTH_RULES,
+        delegation.WIDTH_RULES,
+    ]
+    for fragment in fragments:
+        diags = analyze_source(fragment)
+        new = [d for d in diags
+               if d.code.startswith("R6") or d.code.startswith("R7")]
+        assert not new, f"{fragment[:40]!r}: {new}"
+
+
+def test_corpus_stays_strict_clean_with_all_passes():
+    from repro.analysis.corpus import iter_corpus
+
+    for name, dialect, source in iter_corpus():
+        diags = analyze_source(source, file=name, dialect=dialect)
+        noisy = [d for d in diags if d.severity != "info"]
+        assert not noisy, f"{name}: {noisy}"
+
+
+# -- R302 underscore exemption (regression pins) ----------------------------
+
+def test_r302_exempts_underscore_prefixed_singletons():
+    diags = check("p(X) <- q(X,_Ignored), r(X).\nq(1,2). r(1).")
+    assert not by_code(diags, "R302")
+
+
+def test_r302_still_fires_on_plain_singletons():
+    d = only(check("p(X) <- q(X,Y), r(X).\nq(1,2). r(1)."), "R302")
+    assert "Y" in d.message
+
+
+def test_r302_underscore_exemption_holds_across_dialects():
+    binder = "p(X) :- q(X,_Skip), r(X)."
+    assert not by_code(check(binder, dialect="binder"), "R302")
+    sendlog = "At alice:\n  p(X) <- q(X,_Skip), r(X).\n"
+    assert not by_code(check(sendlog, dialect="sendlog"), "R302")

@@ -1,0 +1,107 @@
+"""Hypothesis property: the analyzer never raises on parseable programs.
+
+``analyze_source`` is a gate in front of every ``load()``: whatever the
+parser accepts, the analyzer must turn into diagnostics — never an
+exception — in every dialect, for every pass, with or without a
+placement.  The programs generated here are random rule/fact soups
+(including says literals, negation, comparisons, and auth/delegation-ish
+predicate names that steer into the new R6xx/R7xx passes).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_source
+from repro.analysis.cli import build_placement
+from repro.analysis.pipeline import parse_dialect
+from repro.datalog.errors import ParseError
+
+# Lexer keywords can never be functors/predicates (the parser rejects
+# them in every position), so drawing them would only waste examples.
+_KEYWORDS = {"me", "true", "false", "agg"}
+identifiers = st.from_regex(r"[a-z][a-zA-Z0-9_]{0,6}",
+                            fullmatch=True).filter(
+                                lambda name: name not in _KEYWORDS)
+# Names that steer generated programs into the authority / delegation /
+# cost passes rather than only exercising the generic families.
+preds = st.one_of(identifiers,
+                  st.sampled_from(["authorize", "mayRead", "grant",
+                                   "delegates", "delDepth", "access",
+                                   "edge", "reach"]))
+var_names = st.from_regex(r"_?[A-Z][a-zA-Z0-9_]{0,4}", fullmatch=True)
+terms = st.one_of(var_names,
+                  st.integers(min_value=0, max_value=99).map(str),
+                  identifiers.map(lambda s: f'"{s}"'))
+
+
+@st.composite
+def atoms(draw):
+    pred = draw(preds)
+    args = draw(st.lists(terms, min_size=1, max_size=3))
+    return f"{pred}({', '.join(args)})"
+
+
+@st.composite
+def literals(draw):
+    kind = draw(st.integers(min_value=0, max_value=9))
+    if kind == 0:
+        return "!" + draw(atoms())
+    if kind == 1:
+        left, right = draw(var_names), draw(terms)
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+        return f"{left} {op} {right}"
+    if kind == 2:
+        speaker = draw(st.one_of(st.just("_"), var_names,
+                                 identifiers.map(lambda s: f'"{s}"')))
+        return f"says({speaker},me,{draw(var_names)})"
+    return draw(atoms())
+
+
+@st.composite
+def programs(draw):
+    statements = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        if draw(st.booleans()):
+            statements.append(draw(atoms()) + ".")  # a fact
+        else:
+            head = draw(atoms())
+            body = draw(st.lists(literals(), min_size=1, max_size=3))
+            statements.append(f"{head} <- {', '.join(body)}.")
+    return "\n".join(statements)
+
+
+def parses(source, dialect):
+    try:
+        parse_dialect(source, dialect)
+        return True
+    except ParseError:
+        return False
+
+
+@settings(max_examples=150, deadline=None)
+@given(source=programs(),
+       dialect=st.sampled_from(["core", "binder", "sendlog"]),
+       nodes=st.sampled_from([0, 3]))
+def test_analyze_source_never_raises(source, dialect, nodes):
+    if dialect == "binder":
+        source = source.replace("<-", ":-")
+    elif dialect == "sendlog":
+        source = "At alice:\n" + source
+    if not parses(source, dialect):
+        return  # the property quantifies over parser-accepted programs
+    placement = build_placement(nodes, [], []) if nodes else None
+    diagnostics = analyze_source(source, file="t.dl", dialect=dialect,
+                                 placement=placement)
+    for diagnostic in diagnostics:
+        assert diagnostic.severity in ("error", "warning", "info")
+        assert diagnostic.code != "R000"  # it parsed; no parse errors
+
+
+@settings(max_examples=50, deadline=None)
+@given(source=programs())
+def test_every_pass_subset_is_total(source):
+    if not parses(source, "core"):
+        return
+    for passes in (("authority",), ("delegation",), ("cost",),
+                   ("authority", "delegation", "cost")):
+        analyze_source(source, file="t.dl", dialect="core", passes=passes)

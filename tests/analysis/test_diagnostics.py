@@ -12,7 +12,9 @@ from repro.analysis.diagnostics import (
     dumps_report,
     excerpt,
     failed,
+    partition_suppressed,
     render_text,
+    scan_suppressions,
     report_from_json,
     report_to_json,
     summarize,
@@ -71,7 +73,8 @@ def test_report_round_trip_and_schema_tag():
     assert report["schema"] == SCHEMA == "repro-check/v1"
     assert report["strict"] is True
     assert report["ok"] is False
-    assert report["summary"] == {"errors": 1, "warnings": 1, "infos": 1}
+    assert report["summary"] == {"errors": 1, "warnings": 1, "infos": 1,
+                                 "suppressed": 0}
     assert set(report_from_json(report)) == set(diags)
     # dumps_report is the same report, serialized
     assert json.loads(dumps_report(diags, strict=True)) == report
@@ -108,3 +111,41 @@ def test_excerpt_and_render_text():
     assert "p.dl:1:1: error [R001] boom" in text
     assert "  ^" in text
     assert text.endswith("1 error(s), 0 warning(s), 0 info(s)")
+
+
+# -- inline suppression pragmas ---------------------------------------------
+
+def test_scan_suppressions_reads_every_comment_style():
+    source = ("p(X) <- q(X,Y). %# check: ignore[R302]\n"
+              "r(X) <- s(X).  //# check: ignore[R301, R303]\n"
+              "plain line\n"
+              "t(1).  # check: ignore[]\n")
+    assert scan_suppressions(source) == {
+        1: frozenset({"R302"}),
+        2: frozenset({"R301", "R303"}),
+        4: frozenset(),  # empty bracket = every code
+    }
+
+
+def test_partition_suppressed_matches_line_and_code():
+    diags = [
+        Diagnostic("R302", "singleton", span=Span(1, 1)),
+        Diagnostic("R301", "dead", span=Span(1, 5)),   # code not named
+        Diagnostic("R302", "other line", span=Span(2, 1)),
+        Diagnostic("R301", "no span"),                  # never suppressed
+        Diagnostic("R202", "anything", span=Span(3, 1)),
+    ]
+    suppressions = {1: frozenset({"R302"}), 3: frozenset()}
+    kept, suppressed = partition_suppressed(diags, suppressions)
+    assert [d.message for d in suppressed] == ["singleton", "anything"]
+    assert [d.message for d in kept] == ["dead", "other line", "no span"]
+
+
+def test_suppressed_findings_are_counted_never_dropped():
+    kept = [Diagnostic("R001", "e", span=Span(1, 1))]
+    hidden = [Diagnostic("R302", "s", span=Span(2, 1))]
+    report = report_to_json(kept, strict=True, suppressed=hidden)
+    assert report["summary"]["suppressed"] == 1
+    assert [d["code"] for d in report["suppressed"]] == ["R302"]
+    text = render_text(kept, suppressed=hidden)
+    assert text.endswith("1 error(s), 0 warning(s), 0 info(s), 1 suppressed")

@@ -53,7 +53,8 @@ def test_run_passes_rejects_unknown_pass():
 def test_gate_passes_are_a_subset_of_default():
     assert set(GATE_PASSES) <= set(DEFAULT_PASSES)
     # the gate runs exactly the engine-equivalent families
-    assert GATE_PASSES == ("safety", "stratification", "types")
+    assert GATE_PASSES == ("safety", "stratification", "types",
+                           "authority", "delegation", "cost")
 
 
 def test_gate_exception_families():

@@ -34,7 +34,7 @@ def test_clean_load_reports_no_warnings(server):
         "principal": "srv",
         "source": "object(\"f1\").\naccess(P) <- good(P).",
     })
-    assert reply == {"warnings": []}
+    assert reply == {"warnings": [], "suppressed": []}
 
 
 def test_rejected_load_travels_as_error_reply(server):
@@ -49,3 +49,14 @@ def test_rejected_load_travels_as_error_reply(server):
     request_id, ok, _, error = decode_reply_frame(blob)
     assert request_id == 1 and not ok
     assert "[R001]" in error
+
+
+def test_load_reply_reports_suppressed_findings(server):
+    reply = server._dispatch("cli", "load", {
+        "principal": "srv",
+        "source": "r(X) <- s(X), !t(X,Y). %# check: ignore[R002]\n"
+                  "s(1). t(1,2).",
+    })
+    assert reply["warnings"] == []
+    [hidden] = reply["suppressed"]
+    assert hidden["code"] == "R002"
